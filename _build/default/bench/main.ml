@@ -1,0 +1,639 @@
+(* Benchmark harness regenerating the paper's evaluation (Figure 4) and
+   the ablations A1-A9 of DESIGN.md.
+
+     dune exec bench/main.exe            -- every experiment
+     dune exec bench/main.exe -- f4      -- just Figure 4
+     dune exec bench/main.exe -- a1..a9  -- one ablation
+     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
+
+   Absolute times are machine-dependent (the paper used a ~12 MIPS
+   SparcStation-1); shapes, ratios, and crossovers are what EXPERIMENTS.md
+   compares. *)
+
+open Relalg
+
+let seed_base = 20260708
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. Float.of_int (List.length xs)
+
+let geomean = function
+  | [] -> nan
+  | xs -> exp (mean (List.map log xs))
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let volcano_optimize ?(flags = Relmodel.Rel_model.default_flags) ?(pruning = true)
+    ?max_moves (q : Workload.query) ~required =
+  let request =
+    {
+      (Relmodel.Optimizer.request q.catalog) with
+      flags;
+      pruning;
+      max_moves;
+      (* Plans are compared bare: no cosmetic column-restoring projection. *)
+      restore_columns = false;
+    }
+  in
+  Relmodel.Optimizer.optimize request q.logical ~required
+
+(* ------------------------------------------------------------------ *)
+(* F4: Figure 4 — exhaustive optimization performance, Volcano vs      *)
+(* EXODUS, 1-7 joins (2-8 input relations).                            *)
+(* ------------------------------------------------------------------ *)
+
+let f4 ~full () =
+  header "F4  Figure 4: exhaustive optimization, Volcano vs EXODUS";
+  Printf.printf
+    "Per size: average optimization time and average estimated plan execution\n\
+     time (both optimizers' plans re-costed by one neutral estimator).\n";
+  let volcano_queries = if full then 50 else 30 in
+  let exodus_queries n = if n <= 5 then volcano_queries else if n = 6 then 5 else 3 in
+  let exodus_budget = 40_000 in
+  Printf.printf
+    "Volcano: %d queries/size. EXODUS: %d queries for <=5 relations, fewer after\n\
+     (node budget %d; the paper's EXODUS likewise aborted on complex queries).\n\n"
+    volcano_queries (exodus_queries 2) exodus_budget;
+  Printf.printf
+    "  n | volcano opt (ms) | exodus opt (ms) | time ratio | volcano exec (s) | exodus exec (s) | exec ratio | exodus ok\n";
+  Printf.printf
+    "  --+------------------+-----------------+------------+------------------+-----------------+------------+----------\n";
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~shape:Workload.Chain ~n_relations:n ~seed:(seed_base + n) ())
+          ~count:volcano_queries
+      in
+      let v_times = ref [] and v_costs = ref [] in
+      List.iter
+        (fun (q : Workload.query) ->
+          let dt, result = time_it (fun () -> volcano_optimize q ~required:Phys_prop.any) in
+          match result.plan with
+          | None -> ()
+          | Some plan ->
+            v_times := dt :: !v_times;
+            v_costs :=
+              Cost.total
+                (Relmodel.Plan_cost.estimate q.catalog
+                   (Relmodel.Optimizer.to_physical plan))
+              :: !v_costs)
+        queries;
+      let e_times = ref [] and e_costs = ref [] and e_ok = ref 0 in
+      let e_abort_ratios = ref [] in
+      let e_queries = List.filteri (fun i _ -> i < exodus_queries n) queries in
+      List.iteri
+        (fun i (q : Workload.query) ->
+          let dt, result =
+            time_it (fun () ->
+                Exodus.optimize ~catalog:q.catalog ~max_nodes:exodus_budget q.logical
+                  ~required:Phys_prop.any)
+          in
+          match result.plan with
+          | Some plan when not result.aborted ->
+            incr e_ok;
+            e_times := dt :: !e_times;
+            e_costs := Cost.total (Relmodel.Plan_cost.estimate q.catalog plan) :: !e_costs
+          | Some plan ->
+            (* Aborted search: compare its best-so-far plan against the
+               Volcano optimum for the same query. *)
+            let ec = Cost.total (Relmodel.Plan_cost.estimate q.catalog plan) in
+            let vc = List.nth (List.rev !v_costs) i in
+            e_abort_ratios := (ec /. vc) :: !e_abort_ratios
+          | None -> ())
+        e_queries;
+      let v_t = mean !v_times *. 1000. and e_t = mean !e_times *. 1000. in
+      let v_c = mean !v_costs and e_c = mean !e_costs in
+      Printf.printf
+        "  %d | %16.2f | %15.2f | %10.1f | %16.4f | %15.4f | %10.3f | %d/%d%s\n%!" n v_t e_t
+        (e_t /. v_t) v_c e_c (e_c /. v_c) !e_ok (List.length e_queries)
+        (if !e_abort_ratios = [] then ""
+         else Printf.sprintf "  (aborted best-so-far %.2fx optimum)" (geomean !e_abort_ratios)))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: memo deduplication — redundant derivations detected via the     *)
+(* expression hash table and the winner table.                         *)
+(* ------------------------------------------------------------------ *)
+
+let a1 ~full () =
+  header "A1  Memo deduplication (the hash table of expressions and classes)";
+  Printf.printf
+    "  n | groups | mexprs | rule firings | class merges | goals | winner hits | hit rate\n";
+  Printf.printf
+    "  --+--------+--------+--------------+--------------+-------+-------------+---------\n";
+  let count = if full then 20 else 10 in
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~n_relations:n ~seed:(seed_base + (100 * n)) ())
+          ~count
+      in
+      let acc = Array.make 6 0. in
+      List.iter
+        (fun (q : Workload.query) ->
+          let r = volcano_optimize q ~required:Phys_prop.any in
+          let s = r.stats in
+          acc.(0) <- acc.(0) +. Float.of_int r.memo_groups;
+          acc.(1) <- acc.(1) +. Float.of_int r.memo_mexprs;
+          acc.(2) <- acc.(2) +. Float.of_int s.rule_firings;
+          acc.(3) <- acc.(3) +. Float.of_int s.merges;
+          acc.(4) <- acc.(4) +. Float.of_int s.goals;
+          acc.(5) <- acc.(5) +. Float.of_int s.goal_hits)
+        queries;
+      let c = Float.of_int count in
+      Printf.printf "  %d | %6.0f | %6.0f | %12.0f | %12.0f | %5.0f | %11.0f | %7.2f\n%!" n
+        (acc.(0) /. c) (acc.(1) /. c) (acc.(2) /. c) (acc.(3) /. c) (acc.(4) /. c)
+        (acc.(5) /. c)
+        (acc.(5) /. (acc.(4) +. acc.(5))))
+    [ 3; 4; 5; 6; 7; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: branch-and-bound pruning — same optima, less work.              *)
+(* ------------------------------------------------------------------ *)
+
+let a2 ~full () =
+  header "A2  Branch-and-bound pruning (cost limits of Figure 2)";
+  Printf.printf
+    "  n | time on (ms) | time off (ms) | plans on | plans off | pruned | optima equal\n";
+  Printf.printf
+    "  --+--------------+---------------+----------+-----------+--------+-------------\n";
+  let count = if full then 20 else 10 in
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~n_relations:n ~seed:(seed_base + (200 * n)) ())
+          ~count
+      in
+      let t_on = ref [] and t_off = ref [] in
+      let p_on = ref 0 and p_off = ref 0 and pruned = ref 0 in
+      let equal = ref true in
+      List.iter
+        (fun (q : Workload.query) ->
+          let dt1, r1 =
+            time_it (fun () -> volcano_optimize ~pruning:true q ~required:Phys_prop.any)
+          in
+          let dt2, r2 =
+            time_it (fun () -> volcano_optimize ~pruning:false q ~required:Phys_prop.any)
+          in
+          t_on := dt1 :: !t_on;
+          t_off := dt2 :: !t_off;
+          p_on := !p_on + r1.stats.plans_costed;
+          p_off := !p_off + r2.stats.plans_costed;
+          pruned := !pruned + r1.stats.pruned;
+          match r1.plan, r2.plan with
+          | Some a, Some b ->
+            if Float.abs (Cost.total a.cost -. Cost.total b.cost) > 1e-9 then equal := false
+          | _, _ -> equal := false)
+        queries;
+      Printf.printf "  %d | %12.3f | %13.3f | %8d | %9d | %6d | %b\n%!" n
+        (mean !t_on *. 1000.) (mean !t_off *. 1000.) (!p_on / count) (!p_off / count)
+        (!pruned / count) !equal)
+    (if full then [ 3; 4; 5; 6; 7; 8 ] else [ 3; 4; 5; 6; 7 ])
+
+(* ------------------------------------------------------------------ *)
+(* A3: property-driven search vs after-the-fact glue sorting.          *)
+(* ------------------------------------------------------------------ *)
+
+let a3 ~full () =
+  header "A3  Physical properties drive the search (ORDER BY queries)";
+  Printf.printf
+    "Volcano passes the sort requirement into the search (enforcers, excluding\n\
+     vectors); the baseline optimizes ignoring order and glues a final sort on\n\
+     top (the EXODUS/Starburst treatment the paper criticizes).\n\n";
+  Printf.printf "  n | volcano cost | glue cost | glue/volcano (geomean)\n";
+  Printf.printf "  --+--------------+-----------+-----------------------\n";
+  let count = if full then 30 else 15 in
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~n_relations:n ~seed:(seed_base + (300 * n)) ())
+          ~count
+      in
+      let ratios = ref [] and v_costs = ref [] and g_costs = ref [] in
+      List.iter
+        (fun (q : Workload.query) ->
+          (* Ask for the output sorted on the first relation's first join
+             key — an order a merge join along the spine can produce. *)
+          let order_col = List.hd q.relations ^ ".jk1" in
+          let required = Phys_prop.sorted (Sort_order.asc [ order_col ]) in
+          let v = volcano_optimize q ~required in
+          let g = volcano_optimize q ~required:Phys_prop.any in
+          match v.plan, g.plan with
+          | Some vp, Some gp ->
+            let vc =
+              Cost.total
+                (Relmodel.Plan_cost.estimate q.catalog (Relmodel.Optimizer.to_physical vp))
+            in
+            let gplan =
+              Physical.mk (Physical.Sort required.Phys_prop.order)
+                [ Relmodel.Optimizer.to_physical gp ]
+            in
+            let gc = Cost.total (Relmodel.Plan_cost.estimate q.catalog gplan) in
+            v_costs := vc :: !v_costs;
+            g_costs := gc :: !g_costs;
+            ratios := (gc /. vc) :: !ratios
+          | _, _ -> ())
+        queries;
+      Printf.printf "  %d | %12.4f | %9.4f | %21.4f\n%!" n (mean !v_costs) (mean !g_costs)
+        (geomean !ratios))
+    [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* A4: heuristic guidance — the implementor's search knobs.            *)
+(* ------------------------------------------------------------------ *)
+
+let a4 ~full () =
+  header "A4  Heuristic guidance: exhaustive vs left-deep vs top-k moves";
+  Printf.printf "  n | exhaustive ms/cost | left-deep ms/cost | top-8 moves ms/cost\n";
+  Printf.printf "  --+--------------------+-------------------+--------------------\n";
+  let count = if full then 20 else 10 in
+  let run_variant queries ~flags ~max_moves =
+    let times = ref [] and costs = ref [] in
+    List.iter
+      (fun (q : Workload.query) ->
+        let dt, r =
+          time_it (fun () -> volcano_optimize ~flags ?max_moves q ~required:Phys_prop.any)
+        in
+        match r.plan with
+        | Some p ->
+          times := dt :: !times;
+          costs :=
+            Cost.total
+              (Relmodel.Plan_cost.estimate q.catalog (Relmodel.Optimizer.to_physical p))
+            :: !costs
+        | None -> ())
+      queries;
+    (mean !times *. 1000., mean !costs)
+  in
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~n_relations:n ~seed:(seed_base + (400 * n)) ())
+          ~count
+      in
+      let open Relmodel.Rel_model in
+      let ex_t, ex_c = run_variant queries ~flags:default_flags ~max_moves:None in
+      let ld_t, ld_c =
+        run_variant queries ~flags:{ default_flags with left_deep_only = true } ~max_moves:None
+      in
+      let tk_t, tk_c = run_variant queries ~flags:default_flags ~max_moves:(Some 8) in
+      Printf.printf "  %d | %9.2f / %-8.3f | %8.2f / %-8.3f | %9.2f / %-8.3f\n%!" n ex_t ex_c
+        ld_t ld_c tk_t tk_c)
+    [ 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* A5: multiple alternative input property vectors (merge set ops).    *)
+(* ------------------------------------------------------------------ *)
+
+let a5 ~full () =
+  header "A5  Alternative input property vectors (the intersection example)";
+  ignore full;
+  Printf.printf
+    "INTERSECT of two relations both stored sorted on (y, x) — the rotated\n\
+     column order. With alternative vectors enabled the merge intersection\n\
+     exploits the stored order directly (the paper's R sorted on (A,B,C),\n\
+     S sorted on (B,A,C) example); without them only the (x, y) vector is\n\
+     tried and the stored order is wasted.\n\n";
+  let catalog = Catalog.create () in
+  let make_table name seed =
+    let rng = Random.State.make [| seed |] in
+    let tuples =
+      Array.init 4_000 (fun _ ->
+          [| Value.Int (Random.State.int rng 40); Value.Int (Random.State.int rng 40) |])
+    in
+    let rotated = Sort_order.asc [ name ^ ".y"; name ^ ".x" ] in
+    let schema =
+      [| Schema.attribute (name ^ ".x") Schema.TInt; Schema.attribute (name ^ ".y") Schema.TInt |]
+    in
+    Array.sort (Sort_order.compare_tuples schema rotated) tuples;
+    ignore (Catalog.add catalog ~name ~schema ~stored_order:rotated tuples)
+  in
+  make_table "a" 51;
+  make_table "b" 52;
+  let query = Logical.intersect (Logical.get "a") (Logical.get "b") in
+  (* Require the output in the rotated order. *)
+  let required =
+    { Phys_prop.any with order = Sort_order.asc [ "a.y"; "a.x" ]; distinct = true }
+  in
+  let run ~alternatives =
+    let flags = { Relmodel.Rel_model.default_flags with alternatives } in
+    let request = { (Relmodel.Optimizer.request catalog) with flags } in
+    let dt, result =
+      time_it (fun () -> Relmodel.Optimizer.optimize request query ~required)
+    in
+    match result.plan with
+    | None -> (dt, nan, "no plan")
+    | Some p -> (dt, Cost.total p.cost, Physical.alg_name p.alg)
+  in
+  let t_on, c_on, root_on = run ~alternatives:true in
+  let t_off, c_off, root_off = run ~alternatives:false in
+  Printf.printf "  alternatives on : cost %.4f  root %-24s (%.2f ms)\n" c_on root_on
+    (t_on *. 1000.);
+  Printf.printf "  alternatives off: cost %.4f  root %-24s (%.2f ms)\n" c_off root_off
+    (t_off *. 1000.);
+  Printf.printf "  saving: %.1f%%\n%!" (100. *. (1. -. (c_on /. c_off)))
+
+(* ------------------------------------------------------------------ *)
+(* A6: search-space growth — optimization effort tracks the number of  *)
+(* equivalent logical expressions (Ono-Lohman).                        *)
+(* ------------------------------------------------------------------ *)
+
+let a6 ~full () =
+  header "A6  Growth of the logical search space (cf. Ono & Lohman)";
+  Printf.printf
+    "For a chain query with Cartesian products admitted, the number of join\n\
+     multi-expressions in the memo is sum over subsets S (|S|>=2) of\n\
+     (2^|S| - 2) = 3^n - 2^(n+1) + n + 1; optimization time should track it.\n\n";
+  Printf.printf "  n | mexprs (measured) | join mexprs (theory) | time (ms)\n";
+  Printf.printf "  --+-------------------+----------------------+----------\n";
+  let count = if full then 10 else 5 in
+  List.iter
+    (fun n ->
+      let queries =
+        Workload.generate_batch
+          (Workload.spec ~n_relations:n ~seed:(seed_base + (600 * n)) ())
+          ~count
+      in
+      let times = ref [] and mexprs = ref [] in
+      List.iter
+        (fun (q : Workload.query) ->
+          let dt, r = time_it (fun () -> volcano_optimize q ~required:Phys_prop.any) in
+          times := dt :: !times;
+          mexprs := Float.of_int r.memo_mexprs :: !mexprs)
+        queries;
+      let theory =
+        (3. ** Float.of_int n) -. (2. ** Float.of_int (n + 1)) +. Float.of_int n +. 1.
+      in
+      Printf.printf "  %d | %17.0f | %20.0f | %8.2f\n%!" n (mean !mexprs) theory
+        (mean !times *. 1000.))
+    [ 3; 4; 5; 6; 7; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A7: partitioning as a physical property — exchange enforcers and    *)
+(* co-partitioned parallel joins (paper §4.1/§6).                      *)
+(* ------------------------------------------------------------------ *)
+
+let a7 ~full () =
+  header "A7  Partitioning property: exchanges and parallel joins";
+  ignore full;
+  let make_catalog () =
+    let c = Catalog.create () in
+    let add name rows seed part =
+      let rng = Random.State.make [| seed |] in
+      let tuples =
+        Array.init rows (fun i ->
+            [| Value.Int i; Value.Int (Random.State.int rng 500);
+               Value.Int (Random.State.int rng 100) |])
+      in
+      let schema =
+        [|
+          Schema.attribute (name ^ ".id") Schema.TInt;
+          Schema.attribute (name ^ ".k") Schema.TInt;
+          Schema.attribute (name ^ ".v") Schema.TInt;
+        |]
+      in
+      ignore (Catalog.add c ~name ~schema ?stored_partitioning:part tuples)
+    in
+    add "f1" 6_000 91 (Some (Phys_prop.Hashed [ "f1.k" ]));
+    add "f2" 6_000 92 (Some (Phys_prop.Hashed [ "f2.k" ]));
+    c
+  in
+  let catalog = make_catalog () in
+  let query =
+    Expr.(Logical.join (col "f1.k" =% col "f2.k") (Logical.get "f1") (Logical.get "f2"))
+  in
+  Printf.printf
+    "Join of two relations pre-partitioned on the join key, result gathered at\n\
+     one site; the co-partitioned parallel join divides the work across the\n\
+     workers, paying one exchange.\n\n";
+  Printf.printf "  workers | est. cost | plan root\n";
+  Printf.printf "  --------+-----------+----------\n";
+  List.iter
+    (fun workers ->
+      let request =
+        {
+          (Relmodel.Optimizer.request catalog) with
+          params = { Cost_model.default with workers };
+          restore_columns = false;
+        }
+      in
+      let result = Relmodel.Optimizer.optimize request query ~required:Phys_prop.gathered in
+      match result.plan with
+      | None -> Printf.printf "  %7d | no plan\n%!" workers
+      | Some p ->
+        Printf.printf "  %7d | %9.4f | %s\n%!" workers (Cost.total p.cost)
+          (Physical.alg_name p.alg))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* A8: dynamic plans for incompletely specified queries (paper §1,     *)
+(* requirement 5).                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let a8 ~full () =
+  header "A8  Dynamic plans (parameterized query, unknown selectivity)";
+  ignore full;
+  let catalog = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic catalog ~name:"fact"
+       ~columns:[ ("k", Catalog.Uniform_int (0, 499)); ("v", Catalog.Uniform_int (0, 9_999)) ]
+       ~rows:6_000 ~seed:31 ());
+  ignore
+    (Catalog.add_synthetic catalog ~name:"dim"
+       ~columns:[ ("k", Catalog.Uniform_int (0, 499)); ("w", Catalog.Uniform_int (0, 99)) ]
+       ~rows:3_000 ~seed:32 ());
+  let template param =
+    let open Expr in
+    Logical.join
+      (col "fact.k" =% col "dim.k")
+      (Logical.select (Expr.Cmp (Expr.Le, col "fact.v", Expr.Const param)) (Logical.get "fact"))
+      (Logical.get "dim")
+  in
+  let request =
+    { (Relmodel.Optimizer.request catalog) with restore_columns = false }
+  in
+  let prepared =
+    Dynplan.prepare ~request template ~range:(0., 400.) ~buckets:16 ~required:Phys_prop.any ()
+  in
+  Printf.printf
+    "The parameter bounds fact.v; selectivity is unknown until run time. The\n\
+     dynamic plan keeps %d distinct plans; the static plan is optimized at the\n\
+     range midpoint. Costs below are the neutral estimate of the instantiated\n\
+     plans; 'oracle' re-optimizes for the actual value.\n\n"
+    (Dynplan.n_distinct_plans prepared);
+  Printf.printf "  param | dynamic | static | oracle | static/dynamic\n";
+  Printf.printf "  ------+---------+--------+--------+---------------\n";
+  List.iter
+    (fun v ->
+      let param = Value.Int v in
+      let b = Dynplan.choose prepared param in
+      let dynamic =
+        Cost.total
+          (Relmodel.Plan_cost.estimate catalog
+             (Dynplan.instantiate b.Dynplan.plan ~witness:b.Dynplan.witness ~actual:param))
+      in
+      let static_ =
+        Cost.total
+          (Relmodel.Plan_cost.estimate catalog
+             (Dynplan.instantiate prepared.Dynplan.static_plan ~witness:200. ~actual:param))
+      in
+      let oracle =
+        match (Relmodel.Optimizer.optimize request (template param) ~required:Phys_prop.any).plan with
+        | Some p -> Cost.total p.cost
+        | None -> nan
+      in
+      Printf.printf "  %5d | %7.4f | %6.4f | %6.4f | %14.2f\n%!" v dynamic static_ oracle
+        (static_ /. dynamic))
+    [ 2; 10; 25; 50; 100; 200; 400 ]
+
+(* ------------------------------------------------------------------ *)
+(* A9: longer-lived partial results — one memo across queries (§3).    *)
+(* ------------------------------------------------------------------ *)
+
+let a9 ~full () =
+  header "A9  Memo reuse across queries (longer-lived partial results)";
+  let n = 6 in
+  let count = if full then 30 else 15 in
+  (* Queries over one catalog sharing subexpressions: prefixes of a
+     chain with varying selections. *)
+  let base = Workload.generate (Workload.spec ~n_relations:n ~seed:(seed_base + 999) ()) in
+  let queries =
+    (* Re-optimize the same query repeatedly plus its join prefixes:
+       the session should answer later requests mostly from the memo. *)
+    List.concat
+      (List.init count (fun _ ->
+           let rec prefixes (e : Logical.expr) acc =
+             match e.Logical.op, e.Logical.inputs with
+             | Logical.Join _, [ l; _ ] -> prefixes l (e :: acc)
+             | _, _ -> acc
+           in
+           prefixes base.logical []))
+  in
+  let request =
+    { (Relmodel.Optimizer.request base.catalog) with restore_columns = false }
+  in
+  let t_fresh, _ =
+    time_it (fun () ->
+        List.iter
+          (fun q -> ignore (Relmodel.Optimizer.optimize request q ~required:Phys_prop.any))
+          queries)
+  in
+  let t_session, _ =
+    time_it (fun () ->
+        let s = Relmodel.Optimizer.session request in
+        List.iter
+          (fun q -> ignore (Relmodel.Optimizer.optimize_in s q ~required:Phys_prop.any))
+          queries)
+  in
+  Printf.printf
+    "%d optimizations of overlapping queries (%d-relation chain and its prefixes):\n"
+    (List.length queries) n;
+  Printf.printf "  fresh memo per query : %8.2f ms\n" (t_fresh *. 1000.);
+  Printf.printf "  one session memo     : %8.2f ms   (%.1fx faster)\n%!"
+    (t_session *. 1000.) (t_fresh /. t_session)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment.            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "MICRO  Bechamel micro-benchmarks (one test per experiment)";
+  let open Bechamel in
+  let query n = Workload.generate (Workload.spec ~n_relations:n ~seed:77 ()) in
+  let q4 = query 4 and q6 = query 6 in
+  let ord_required (q : Workload.query) =
+    Phys_prop.sorted (Sort_order.asc [ List.hd q.relations ^ ".jk1" ])
+  in
+  let oo_store : Oomodel.Oo_algebra.store =
+    [
+      {
+        cname = "emp";
+        extent_size = 10_000.;
+        object_bytes = 120;
+        references = [ ("dept", "dept") ];
+      };
+      { cname = "dept"; extent_size = 100.; object_bytes = 64; references = [] };
+    ]
+  in
+  let oo_query =
+    Volcano.Tree.node
+      (Oomodel.Oo_algebra.O_select ([ "dept" ], 0.1))
+      [ Volcano.Tree.node (Oomodel.Oo_algebra.Extent "emp") [] ]
+  in
+  let tests =
+    [
+      Test.make ~name:"f4-volcano-4rel"
+        (Staged.stage (fun () -> volcano_optimize q4 ~required:Phys_prop.any));
+      Test.make ~name:"f4-volcano-6rel"
+        (Staged.stage (fun () -> volcano_optimize q6 ~required:Phys_prop.any));
+      Test.make ~name:"f4-exodus-4rel"
+        (Staged.stage (fun () ->
+             Exodus.optimize ~catalog:q4.catalog ~max_nodes:40_000 q4.logical
+               ~required:Phys_prop.any));
+      Test.make ~name:"a2-no-pruning-4rel"
+        (Staged.stage (fun () -> volcano_optimize ~pruning:false q4 ~required:Phys_prop.any));
+      Test.make ~name:"a3-orderby-4rel"
+        (Staged.stage (fun () -> volcano_optimize q4 ~required:(ord_required q4)));
+      Test.make ~name:"a4-leftdeep-6rel"
+        (Staged.stage (fun () ->
+             volcano_optimize
+               ~flags:{ Relmodel.Rel_model.default_flags with left_deep_only = true }
+               q6 ~required:Phys_prop.any));
+      Test.make ~name:"oo-assembledness"
+        (Staged.stage (fun () ->
+             Oomodel.Oo_model.optimize ~store:oo_store oo_query
+               ~required:Oomodel.Oo_algebra.Path_set.empty));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.2f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "full" args in
+  let args = List.filter (fun a -> a <> "full") args in
+  let all = args = [] || args = [ "all" ] in
+  let want name = all || List.mem name args in
+  let t0 = Unix.gettimeofday () in
+  if want "f4" then f4 ~full ();
+  if want "a1" then a1 ~full ();
+  if want "a2" then a2 ~full ();
+  if want "a3" then a3 ~full ();
+  if want "a4" then a4 ~full ();
+  if want "a5" then a5 ~full ();
+  if want "a6" then a6 ~full ();
+  if want "a7" then a7 ~full ();
+  if want "a8" then a8 ~full ();
+  if want "a9" then a9 ~full ();
+  if List.mem "micro" args then micro ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

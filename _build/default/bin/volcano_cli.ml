@@ -1,0 +1,196 @@
+(* volcano-cli: optimize and run SQL against a demo catalog.
+
+   Subcommands:
+     optimize  parse a SQL statement, print the logical tree, the
+               optimized plan, search statistics; optionally execute it
+               or compare with the EXODUS-style baseline
+     tables    list the demo catalog
+     workload  generate and optimize one paper-style random query
+     repl      interactive SQL session with a shared optimizer memo *)
+
+open Relalg
+
+let demo_catalog () =
+  let catalog = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic catalog ~name:"emp"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("dept_id", Catalog.Uniform_int (0, 119));
+           ("salary", Catalog.Uniform_int (30_000, 150_000));
+           ("age", Catalog.Uniform_int (21, 65));
+         ]
+       ~rows:7_200 ~seed:7 ());
+  ignore
+    (Catalog.add_synthetic catalog ~name:"dept"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("budget", Catalog.Uniform_int (100_000, 5_000_000));
+           ("floor", Catalog.Uniform_int (1, 12));
+         ]
+       ~rows:1_200 ~seed:8 ());
+  ignore
+    (Catalog.add_synthetic catalog ~name:"proj"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("dept_id", Catalog.Uniform_int (0, 119));
+           ("cost", Catalog.Uniform_int (1_000, 900_000));
+         ]
+       ~rows:2_400 ~seed:9 ());
+  catalog
+
+let print_tables catalog =
+  List.iter
+    (fun (t : Catalog.table) ->
+      Format.printf "%-6s %6d rows  %a@." t.name (Array.length t.tuples) Schema.pp t.schema)
+    (Catalog.tables catalog)
+
+let run_optimize sql execute compare_exodus no_pruning left_deep =
+  let catalog = demo_catalog () in
+  match Sqlfront.parse catalog sql with
+  | exception Sqlfront.Parse_error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    1
+  | { logical; required } ->
+    Format.printf "Logical query:@.%a@.@." Logical.pp logical;
+    Format.printf "Required properties: %s@.@." (Phys_prop.to_string required);
+    let request =
+      {
+        (Relmodel.Optimizer.request catalog) with
+        pruning = not no_pruning;
+        flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
+      }
+    in
+    let result = Relmodel.Optimizer.optimize request logical ~required in
+    (match result.plan with
+     | None ->
+       Format.printf "No plan found within the cost limit.@.";
+     | Some plan ->
+       Format.printf "Volcano plan (estimated cost %s):@.%s@.@."
+         (Cost.to_string plan.cost)
+         (Relmodel.Optimizer.explain plan);
+       Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats;
+       Format.printf "Memo: %d groups, %d multi-expressions@.@." result.memo_groups
+         result.memo_mexprs;
+       if compare_exodus then begin
+         let e = Exodus.optimize ~catalog ~max_nodes:200_000 logical ~required in
+         match e.plan with
+         | None -> Format.printf "EXODUS baseline: no plan (aborted=%b)@." e.aborted
+         | Some eplan ->
+           Format.printf "EXODUS baseline plan (estimated cost %s, nodes %d%s):@.%a@.@."
+             (Cost.to_string (Relmodel.Plan_cost.estimate catalog eplan))
+             e.stats.nodes
+             (if e.aborted then ", aborted" else "")
+             Physical.pp eplan
+       end;
+       if execute then begin
+         let tuples, schema, io = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+         Format.printf "Result (%d rows; io: %a):@." (Array.length tuples)
+           Executor.Io_stats.pp io;
+         Format.printf "%s@." (String.concat " | " (Schema.names schema));
+         Array.iteri
+           (fun i t -> if i < 20 then Format.printf "%a@." Tuple.pp t)
+           tuples;
+         if Array.length tuples > 20 then
+           Format.printf "... (%d more rows)@." (Array.length tuples - 20)
+       end);
+    0
+
+let run_tables () =
+  print_tables (demo_catalog ());
+  0
+
+let run_repl () =
+  let catalog = demo_catalog () in
+  let session = Relmodel.Optimizer.session (Relmodel.Optimizer.request catalog) in
+  Format.printf
+    "volcano-cli repl — demo tables: emp, dept, proj. Empty line or ctrl-d quits.@.";
+  print_tables catalog;
+  let rec loop () =
+    Format.printf "@.sql> %!";
+    match In_channel.input_line stdin with
+    | None | Some "" -> 0
+    | Some line -> begin
+      (match Sqlfront.parse catalog line with
+       | exception Sqlfront.Parse_error msg -> Format.printf "parse error: %s@." msg
+       | { logical; required } -> begin
+         match (Relmodel.Optimizer.optimize_in session logical ~required).plan with
+         | None -> Format.printf "no plan@."
+         | Some plan ->
+           Format.printf "%s@." (Relmodel.Optimizer.explain plan);
+           let rows, schema, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+           Format.printf "%s@." (String.concat " | " (Schema.names schema));
+           Array.iteri (fun i t -> if i < 10 then Format.printf "%a@." Tuple.pp t) rows;
+           if Array.length rows > 10 then
+             Format.printf "... (%d rows total)@." (Array.length rows)
+       end);
+      loop ()
+    end
+  in
+  loop ()
+
+let run_workload n seed =
+  let spec = Workload.spec ~n_relations:n ~seed () in
+  let q = Workload.generate spec in
+  Format.printf "Random %d-relation query:@.%a@.@." n Logical.pp q.logical;
+  let result =
+    Relmodel.Optimizer.optimize (Relmodel.Optimizer.request q.catalog) q.logical
+      ~required:Phys_prop.any
+  in
+  (match result.plan with
+   | None -> Format.printf "no plan@."
+   | Some plan ->
+     Format.printf "Best plan (cost %s):@.%s@.@." (Cost.to_string plan.cost)
+       (Relmodel.Optimizer.explain plan);
+     Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats);
+  0
+
+open Cmdliner
+
+let sql_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SQL" ~doc:"SQL statement to optimize (quote it).")
+
+let optimize_cmd =
+  let execute =
+    Arg.(value & flag & info [ "execute"; "x" ] ~doc:"Execute the plan and print rows.")
+  in
+  let exodus =
+    Arg.(value & flag & info [ "exodus" ] ~doc:"Also optimize with the EXODUS-style baseline.")
+  in
+  let no_pruning =
+    Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable branch-and-bound pruning.")
+  in
+  let left_deep =
+    Arg.(value & flag & info [ "left-deep" ] ~doc:"Restrict join plans to left-deep shape.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
+    Term.(const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ left_deep)
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL session over the demo catalog")
+    Term.(const run_repl $ const ())
+
+let workload_cmd =
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of input relations (2-10).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate and optimize a paper-style random query")
+    Term.(const run_workload $ n $ seed)
+
+let () =
+  let doc = "The Volcano optimizer generator (Graefe & McKenna, ICDE 1993)" in
+  let info = Cmd.info "volcano-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/dynamic_plans.ml: Array Catalog Dynplan Expr Format List Logical Phys_prop Relalg Relmodel Value

@@ -1,0 +1,1 @@
+examples/interesting_orders.ml: Catalog Cost Expr Format Logical Option Phys_prop Physical Relalg Relmodel Sort_order

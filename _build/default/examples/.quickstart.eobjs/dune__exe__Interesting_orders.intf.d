@@ -1,0 +1,1 @@
+examples/interesting_orders.mli:

@@ -1,0 +1,1 @@
+examples/oodb_paths.ml: Format List Oomodel Path_set Printf String Volcano

@@ -1,0 +1,1 @@
+examples/parallel_partitioning.ml: Array Catalog Cost Cost_model Expr Format Logical Phys_prop Random Relalg Relmodel Schema Sort_order Value

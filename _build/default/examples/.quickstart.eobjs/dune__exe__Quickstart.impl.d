@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Cost Expr Format Logical Phys_prop Relalg Relmodel Sort_order Volcano

@@ -1,0 +1,1 @@
+examples/sql_session.ml: Array Catalog Cost Executor Format Relalg Relmodel Schema Sqlfront String Tuple

@@ -1,0 +1,64 @@
+(* End-to-end SQL session: parse -> optimize -> execute, printing plans
+   and result samples — the full pipeline a DBMS built on this library
+   would run.
+
+   Run with: dune exec examples/sql_session.exe *)
+
+open Relalg
+
+let catalog =
+  let c = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic c ~name:"orders"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("customer_id", Catalog.Uniform_int (0, 499));
+           ("amount", Catalog.Uniform_int (5, 2_000));
+           ("region", Catalog.Choice [ "north"; "south"; "east"; "west" ]);
+         ]
+       ~rows:5_000 ~seed:21 ());
+  ignore
+    (Catalog.add_synthetic c ~name:"customers"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("tier", Catalog.Uniform_int (1, 3));
+           ("credit", Catalog.Uniform_int (0, 100_000));
+         ]
+       ~rows:500 ~seed:22 ());
+  c
+
+let run sql =
+  Format.printf "@.sql> %s@." sql;
+  match Sqlfront.parse catalog sql with
+  | exception Sqlfront.Parse_error msg -> Format.printf "parse error: %s@." msg
+  | stmt -> begin
+    let result =
+      Relmodel.Optimizer.optimize (Relmodel.Optimizer.request catalog) stmt.logical
+        ~required:stmt.required
+    in
+    match result.plan with
+    | None -> Format.printf "no plan@."
+    | Some plan ->
+      Format.printf "plan (cost %s):@.%s@." (Cost.to_string plan.cost)
+        (Relmodel.Optimizer.explain plan);
+      let rows, schema, io = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+      Format.printf "%d rows (%a)@." (Array.length rows) Executor.Io_stats.pp io;
+      Format.printf "  %s@." (String.concat " | " (Schema.names schema));
+      Array.iteri (fun i t -> if i < 5 then Format.printf "  %a@." Tuple.pp t) rows;
+      if Array.length rows > 5 then Format.printf "  ...@."
+  end
+
+let () =
+  run "SELECT * FROM orders WHERE orders.amount > 1900 ORDER BY orders.amount DESC";
+  run
+    "SELECT orders.id, customers.tier FROM orders, customers \
+     WHERE orders.customer_id = customers.id AND customers.credit > 90000";
+  run
+    "SELECT orders.region, COUNT(*) AS orders_n, SUM(orders.amount) AS revenue \
+     FROM orders GROUP BY orders.region ORDER BY orders.region";
+  run "SELECT DISTINCT orders.region FROM orders";
+  run
+    "SELECT orders.customer_id FROM orders WHERE orders.amount > 1000 \
+     INTERSECT SELECT orders.customer_id FROM orders WHERE orders.region = 'north'"

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Hashtbl List Plan_schema Printf Random Relalg Selectivity Stats String

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Plan_schema Relalg Selectivity Stats

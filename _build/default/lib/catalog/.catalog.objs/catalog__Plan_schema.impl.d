@@ -1,0 +1,1 @@
+lib/catalog/plan_schema.ml: Array List Logical Physical Relalg Schema

@@ -1,0 +1,1 @@
+lib/catalog/selectivity.ml: Expr Float List Logical_props Relalg Value

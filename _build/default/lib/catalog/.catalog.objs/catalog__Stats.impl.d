@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Array Float Format List Option Relalg Set

@@ -1,0 +1,107 @@
+module Stats = Stats
+module Selectivity = Selectivity
+module Plan_schema = Plan_schema
+
+type table = {
+  name : string;
+  schema : Relalg.Schema.t;
+  tuples : Relalg.Tuple.t array;
+  stats : Stats.t;
+  stored_order : Relalg.Sort_order.t;
+  stored_partitioning : Relalg.Phys_prop.partitioning;
+  mutable indexes : string list list;
+}
+
+type t = (string, table) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let qualify_schema name schema =
+  Array.map
+    (fun (a : Relalg.Schema.attribute) ->
+      if String.contains a.name '.' then a
+      else { a with name = Relalg.Schema.qualify name a.name })
+    schema
+
+let add registry ~name ~schema ?(stored_order = [])
+    ?(stored_partitioning = Relalg.Phys_prop.Singleton) tuples =
+  if Hashtbl.mem registry name then
+    invalid_arg (Printf.sprintf "Catalog.add: table %S already exists" name);
+  let schema = qualify_schema name schema in
+  let stats = Stats.of_tuples schema tuples in
+  let table =
+    { name; schema; tuples; stats; stored_order; stored_partitioning; indexes = [] }
+  in
+  Hashtbl.add registry name table;
+  table
+
+let find registry name = Hashtbl.find registry name
+
+let add_index registry ~table columns =
+  let t = find registry table in
+  let qualified = List.map (Relalg.Schema.resolve t.schema) columns in
+  if not (List.mem qualified t.indexes) then t.indexes <- qualified :: t.indexes
+
+let find_opt registry name = Hashtbl.find_opt registry name
+
+let mem registry name = Hashtbl.mem registry name
+
+let tables registry =
+  Hashtbl.fold (fun _ t acc -> t :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let base_props table =
+  let distincts =
+    List.map (fun (col, (s : Stats.column_stats)) -> (col, s.n_distinct)) table.stats.columns
+  in
+  let ranges =
+    List.filter_map
+      (fun (col, (s : Stats.column_stats)) ->
+        match s.min_value, s.max_value with
+        | Some mn, Some mx ->
+          (match Relalg.Value.to_float mn, Relalg.Value.to_float mx with
+           | Some lo, Some hi -> Some (col, (lo, hi))
+           | _, _ -> None)
+        | _, _ -> None)
+      table.stats.columns
+  in
+  Relalg.Logical_props.make ~schema:table.schema ~card:table.stats.row_count ~distincts
+    ~ranges ~relations:[ table.name ] ()
+
+type column_spec =
+  | Serial
+  | Uniform_int of int * int
+  | Uniform_float of float * float
+  | Choice of string list
+
+let spec_type = function
+  | Serial | Uniform_int _ -> Relalg.Schema.TInt
+  | Uniform_float _ -> Relalg.Schema.TFloat
+  | Choice _ -> Relalg.Schema.TStr
+
+let add_synthetic registry ~name ~columns ?(widths = []) ~rows ~seed () =
+  let rng = Random.State.make [| seed; Hashtbl.hash name |] in
+  let gen_value row = function
+    | Serial -> Relalg.Value.Int row
+    | Uniform_int (lo, hi) -> Relalg.Value.Int (lo + Random.State.int rng (hi - lo + 1))
+    | Uniform_float (lo, hi) ->
+      Relalg.Value.Float (lo +. Random.State.float rng (hi -. lo))
+    | Choice options ->
+      Relalg.Value.Str (List.nth options (Random.State.int rng (List.length options)))
+  in
+  let schema =
+    Array.of_list
+      (List.map
+         (fun (col, spec) ->
+           Relalg.Schema.attribute ?width:(List.assoc_opt col widths) col (spec_type spec))
+         columns)
+  in
+  let tuples =
+    Array.init rows (fun row ->
+        Array.of_list (List.map (fun (_, spec) -> gen_value row spec) columns))
+  in
+  add registry ~name ~schema tuples
+
+(** Output schema of a physical plan against this catalog. *)
+let plan_schema registry plan =
+  Plan_schema.of_plan (fun name -> (find registry name).schema) plan

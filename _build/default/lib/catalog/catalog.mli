@@ -1,0 +1,82 @@
+(** The catalog: named stored relations with their schemas, data, and
+    statistics. The data itself lives here too — the execution engine
+    reads it through a paged storage view. *)
+
+module Stats = Stats
+module Selectivity = Selectivity
+module Plan_schema = Plan_schema
+
+type table = {
+  name : string;
+  schema : Relalg.Schema.t;  (** columns carry qualified names ["table.col"] *)
+  tuples : Relalg.Tuple.t array;
+  stats : Stats.t;
+  stored_order : Relalg.Sort_order.t;
+      (** physical order of the stored data ([[]] = unordered heap) *)
+  stored_partitioning : Relalg.Phys_prop.partitioning;
+      (** how the stored data is distributed across workers
+          ([Singleton] = one site) *)
+  mutable indexes : string list list;
+      (** clustered-style indexes: each entry is a key-column list; an
+          index delivers its key order and supports range scans on its
+          leading column *)
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  name:string ->
+  schema:Relalg.Schema.t ->
+  ?stored_order:Relalg.Sort_order.t ->
+  ?stored_partitioning:Relalg.Phys_prop.partitioning ->
+  Relalg.Tuple.t array ->
+  table
+(** Register a relation; schema column names are qualified with the
+    table name if not already. Statistics are computed immediately.
+    @raise Invalid_argument if the name is already taken. *)
+
+val find : t -> string -> table
+(** @raise Not_found *)
+
+val add_index : t -> table:string -> string list -> unit
+(** Register an index on the named table (columns may be unqualified).
+    @raise Not_found if the table is absent. *)
+
+val find_opt : t -> string -> table option
+
+val mem : t -> string -> bool
+
+val tables : t -> table list
+
+val base_props : table -> Relalg.Logical_props.t
+(** Logical properties of the stored relation (the leaf case of
+    property derivation). *)
+
+(** {1 Synthetic data}
+
+    Generator used by tests, examples, and the paper-workload
+    benchmarks (relations of 1,200–7,200 records of 100 bytes). *)
+
+type column_spec =
+  | Serial  (** 0, 1, 2, ... — a key column *)
+  | Uniform_int of int * int  (** inclusive bounds *)
+  | Uniform_float of float * float
+  | Choice of string list  (** categorical strings *)
+
+val add_synthetic :
+  t ->
+  name:string ->
+  columns:(string * column_spec) list ->
+  ?widths:(string * int) list ->
+  rows:int ->
+  seed:int ->
+  unit ->
+  table
+(** Build and register a table with pseudo-random contents; the same
+    seed always yields the same data. *)
+
+val plan_schema : t -> Relalg.Physical.plan -> Relalg.Schema.t
+(** Output schema of a physical plan against this catalog. *)

@@ -1,0 +1,44 @@
+(** Output schemas of physical plans. Shared by the execution engine
+    (cursor schemas) and the optimizer wrapper (to restore the logical
+    column order after commutativity has reordered join inputs).
+    Parameterized by a table-schema lookup so it stays independent of
+    the registry representation. *)
+
+open Relalg
+
+let agg_type (input : Schema.t) (a : Logical.agg) =
+  match a.func, a.column with
+  | Logical.Count, _ -> Schema.TInt
+  | Logical.Avg, _ -> Schema.TFloat
+  | (Logical.Sum | Logical.Min | Logical.Max), Some col -> (Schema.find input col).ty
+  | (Logical.Sum | Logical.Min | Logical.Max), None ->
+    invalid_arg "Plan_schema: aggregate other than count requires a column"
+
+let aggregate_schema input keys aggs =
+  let key_schema = Schema.project input keys in
+  let agg_schema =
+    Array.of_list
+      (List.map
+         (fun (a : Logical.agg) ->
+           Schema.attribute (Logical.agg_result_name a) (agg_type input a))
+         aggs)
+  in
+  Schema.concat key_schema agg_schema
+
+let rec of_plan (table_schema : string -> Schema.t) (p : Physical.plan) : Schema.t =
+  let child i = of_plan table_schema (List.nth p.children i) in
+  match p.alg with
+  | Physical.Table_scan t | Physical.Index_scan (t, _, _) -> table_schema t
+  | Physical.Filter _ | Physical.Sort _ | Physical.Hash_dedup | Physical.Sort_dedup _
+  | Physical.Repartition _ | Physical.Gather | Physical.Merge_gather _ ->
+    child 0
+  | Physical.Project_cols cols -> Schema.project (child 0) cols
+  | Physical.Nested_loop_join _ | Physical.Merge_join _ | Physical.Hash_join _ ->
+    Schema.concat (child 0) (child 1)
+  | Physical.Hash_join_project (_, _, cols) ->
+    Schema.project (Schema.concat (child 0) (child 1)) cols
+  | Physical.Merge_union | Physical.Hash_union | Physical.Merge_intersect
+  | Physical.Hash_intersect | Physical.Merge_difference | Physical.Hash_difference ->
+    child 0
+  | Physical.Stream_aggregate (keys, aggs) | Physical.Hash_aggregate (keys, aggs) ->
+    aggregate_schema (child 0) keys aggs

@@ -1,0 +1,104 @@
+type column_stats = {
+  n_distinct : float;
+  null_count : float;
+  min_value : Relalg.Value.t option;
+  max_value : Relalg.Value.t option;
+  histogram : histogram option;
+}
+
+and histogram = {
+  lo : float;
+  hi : float;
+  buckets : float array;
+}
+
+type t = {
+  row_count : float;
+  columns : (string * column_stats) list;
+}
+
+let bucket_count = 16
+
+let build_histogram values =
+  match values with
+  | [] -> None
+  | v0 :: _ ->
+    let lo = List.fold_left Float.min v0 values in
+    let hi = List.fold_left Float.max v0 values in
+    if hi <= lo then None
+    else begin
+      let buckets = Array.make bucket_count 0. in
+      let width = (hi -. lo) /. Float.of_int bucket_count in
+      let place v =
+        let i = int_of_float ((v -. lo) /. width) in
+        let i = if i >= bucket_count then bucket_count - 1 else i in
+        buckets.(i) <- buckets.(i) +. 1.
+      in
+      List.iter place values;
+      Some { lo; hi; buckets }
+    end
+
+let column_stats_of_values values =
+  let module VS = Set.Make (struct
+    type t = Relalg.Value.t
+
+    let compare = Relalg.Value.compare
+  end) in
+  let non_null = List.filter (fun v -> not (Relalg.Value.is_null v)) values in
+  let nulls = List.length values - List.length non_null in
+  let distinct = VS.cardinal (VS.of_list non_null) in
+  let sorted = List.sort Relalg.Value.compare non_null in
+  let min_value = match sorted with [] -> None | v :: _ -> Some v in
+  let max_value =
+    match List.rev sorted with [] -> None | v :: _ -> Some v
+  in
+  let numeric = List.filter_map Relalg.Value.to_float non_null in
+  let histogram =
+    if List.length numeric = List.length non_null then build_histogram numeric else None
+  in
+  {
+    n_distinct = Float.of_int distinct;
+    null_count = Float.of_int nulls;
+    min_value;
+    max_value;
+    histogram;
+  }
+
+let of_tuples schema tuples =
+  let n = Array.length tuples in
+  let columns =
+    Array.to_list schema
+    |> List.mapi (fun i (attr : Relalg.Schema.attribute) ->
+           let values = Array.to_list (Array.map (fun t -> t.(i)) tuples) in
+           (attr.name, column_stats_of_values values))
+  in
+  { row_count = Float.of_int n; columns }
+
+let column t name = List.assoc_opt name t.columns
+
+let histogram_fraction h ~lo ~hi =
+  let total = Array.fold_left ( +. ) 0. h.buckets in
+  if total <= 0. then 0.
+  else begin
+    let width = (h.hi -. h.lo) /. Float.of_int (Array.length h.buckets) in
+    let lo_bound = Option.value lo ~default:h.lo in
+    let hi_bound = Option.value hi ~default:h.hi in
+    let covered = ref 0. in
+    Array.iteri
+      (fun i count ->
+        let b_lo = h.lo +. (Float.of_int i *. width) in
+        let b_hi = b_lo +. width in
+        (* Fraction of this bucket overlapping [lo_bound, hi_bound],
+           assuming uniformity within the bucket. *)
+        let overlap = Float.max 0. (Float.min b_hi hi_bound -. Float.max b_lo lo_bound) in
+        if width > 0. then covered := !covered +. (count *. (overlap /. width)))
+      h.buckets;
+    Float.min 1. (!covered /. total)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "rows=%.0f" t.row_count;
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf "@\n  %s: distinct=%.0f nulls=%.0f" name c.n_distinct c.null_count)
+    t.columns

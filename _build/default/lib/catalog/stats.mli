@@ -1,0 +1,32 @@
+(** Column statistics backing selectivity estimation: distinct counts,
+    min/max bounds, and equi-width histograms built from the data. *)
+
+type column_stats = {
+  n_distinct : float;
+  null_count : float;
+  min_value : Relalg.Value.t option;  (** [None] when all values are null *)
+  max_value : Relalg.Value.t option;
+  histogram : histogram option;  (** only for numeric columns *)
+}
+
+and histogram = {
+  lo : float;
+  hi : float;
+  buckets : float array;  (** tuple counts per equi-width bucket *)
+}
+
+type t = {
+  row_count : float;
+  columns : (string * column_stats) list;  (** keyed by qualified column name *)
+}
+
+val of_tuples : Relalg.Schema.t -> Relalg.Tuple.t array -> t
+(** Scan the data once and build full statistics. *)
+
+val column : t -> string -> column_stats option
+
+val histogram_fraction : histogram -> lo:float option -> hi:float option -> float
+(** Estimated fraction of rows falling in the (inclusive) numeric
+    interval; [None] bounds are unbounded. *)
+
+val pp : Format.formatter -> t -> unit

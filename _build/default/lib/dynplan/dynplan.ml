@@ -1,0 +1,107 @@
+open Relalg
+
+type template = Value.t -> Logical.expr
+
+type bucket = {
+  lo : float;
+  hi : float;
+  witness : float;
+  plan : Relmodel.Optimizer.plan_node;
+}
+
+type t = {
+  buckets : bucket list;
+  static_plan : Relmodel.Optimizer.plan_node;
+  required : Phys_prop.t;
+}
+
+(* Witnesses carry a sub-integer tag so they can be located and replaced
+   inside the plan's predicates without colliding with the query's own
+   constants (which are integers or "round" floats in practice). *)
+let tag = 2.4414e-4
+
+let witness_value w = Value.Float (w +. tag)
+
+let rec subst_expr ~witness ~actual (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Const (Value.Float f) when Float.abs (f -. (witness +. tag)) < 1e-9 ->
+    Expr.Const actual
+  | Expr.Const _ | Expr.Col _ -> e
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, subst_expr ~witness ~actual a, subst_expr ~witness ~actual b)
+  | Expr.And (a, b) -> Expr.And (subst_expr ~witness ~actual a, subst_expr ~witness ~actual b)
+  | Expr.Or (a, b) -> Expr.Or (subst_expr ~witness ~actual a, subst_expr ~witness ~actual b)
+  | Expr.Not a -> Expr.Not (subst_expr ~witness ~actual a)
+  | Expr.Arith (op, a, b) ->
+    Expr.Arith (op, subst_expr ~witness ~actual a, subst_expr ~witness ~actual b)
+
+let subst_alg ~witness ~actual (alg : Physical.alg) : Physical.alg =
+  let s = subst_expr ~witness ~actual in
+  match alg with
+  | Physical.Filter p -> Physical.Filter (s p)
+  | Physical.Index_scan (t, cols, p) -> Physical.Index_scan (t, cols, s p)
+  | Physical.Hash_join_project (keys, p, cols) -> Physical.Hash_join_project (keys, s p, cols)
+  | Physical.Nested_loop_join p -> Physical.Nested_loop_join (s p)
+  | Physical.Merge_join (keys, p) -> Physical.Merge_join (keys, s p)
+  | Physical.Hash_join (keys, p) -> Physical.Hash_join (keys, s p)
+  | Physical.Table_scan _ | Physical.Project_cols _ | Physical.Sort _ | Physical.Hash_dedup
+  | Physical.Sort_dedup _ | Physical.Repartition _ | Physical.Gather
+  | Physical.Merge_gather _ | Physical.Merge_union | Physical.Hash_union
+  | Physical.Merge_intersect | Physical.Hash_intersect | Physical.Merge_difference
+  | Physical.Hash_difference | Physical.Stream_aggregate _ | Physical.Hash_aggregate _ ->
+    alg
+
+let instantiate (plan : Relmodel.Optimizer.plan_node) ~witness ~actual : Physical.plan =
+  let rec go (p : Relmodel.Optimizer.plan_node) =
+    Physical.mk (subst_alg ~witness ~actual p.alg) (List.map go p.children)
+  in
+  go plan
+
+(* Plan shape, with the parameter constant erased, for merging buckets
+   that chose the same plan. *)
+let shape_of (plan : Relmodel.Optimizer.plan_node) ~witness =
+  Physical.to_string (instantiate plan ~witness ~actual:(Value.Str "?"))
+
+let prepare ~request template ~range:(lo, hi) ?(buckets = 8) ~required () : t =
+  if buckets < 1 || hi <= lo then invalid_arg "Dynplan.prepare: bad range or bucket count";
+  let width = (hi -. lo) /. Float.of_int buckets in
+  let optimize_at w =
+    let query = template (witness_value w) in
+    match (Relmodel.Optimizer.optimize request query ~required).plan with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Dynplan.prepare: no plan at parameter %g" w)
+  in
+  let raw =
+    List.init buckets (fun i ->
+        let b_lo = lo +. (Float.of_int i *. width) in
+        let witness = b_lo +. (width /. 2.) in
+        { lo = b_lo; hi = b_lo +. width; witness; plan = optimize_at witness })
+  in
+  (* Merge adjacent buckets with the same plan shape. *)
+  let merged =
+    List.fold_left
+      (fun acc b ->
+        match acc with
+        | prev :: rest when shape_of prev.plan ~witness:prev.witness = shape_of b.plan ~witness:b.witness
+          ->
+          { prev with hi = b.hi } :: rest
+        | _ -> b :: acc)
+      [] raw
+    |> List.rev
+  in
+  let mid = (lo +. hi) /. 2. in
+  { buckets = merged; static_plan = optimize_at mid; required }
+
+let choose t (param : Value.t) : bucket =
+  let v = Option.value (Value.to_float param) ~default:nan in
+  let rec pick = function
+    | [] -> invalid_arg "Dynplan.choose: empty dynamic plan"
+    | [ last ] -> last
+    | b :: rest -> if v < b.hi then b else pick rest
+  in
+  pick t.buckets
+
+let execute catalog t ~param =
+  let b = choose t param in
+  Executor.run catalog (instantiate b.plan ~witness:b.witness ~actual:param)
+
+let n_distinct_plans t = List.length t.buckets

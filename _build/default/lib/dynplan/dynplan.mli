@@ -1,0 +1,61 @@
+(** Dynamic plans for incompletely specified queries.
+
+    The paper's fifth requirement (§1): the generator "had to support
+    flexible cost models that permit generating dynamic plans for
+    incompletely specified queries" — queries with a run-time parameter
+    whose value (and therefore selectivity) is unknown at optimization
+    time, later developed into the choose-plan operator (Cole & Graefe).
+
+    [prepare] optimizes the query template once per parameter bucket
+    and keeps each distinct winning plan; at run time [choose] picks
+    the bucket plan for the actual parameter value — a start-up-time
+    choose-plan, with no re-optimization. *)
+
+type template = Relalg.Value.t -> Relalg.Logical.expr
+(** A query parameterized by one run-time value. The function must be
+    {e structural}: for every argument it returns the same operator
+    tree, with the argument embedded as a constant. *)
+
+type bucket = {
+  lo : float;
+  hi : float;  (** parameter interval covered by this plan *)
+  witness : float;  (** representative value the plan was optimized for *)
+  plan : Relmodel.Optimizer.plan_node;
+}
+
+type t = {
+  buckets : bucket list;  (** ascending, contiguous; distinct plans only *)
+  static_plan : Relmodel.Optimizer.plan_node;
+      (** the conventional single plan, optimized at the range midpoint *)
+  required : Relalg.Phys_prop.t;
+}
+
+val prepare :
+  request:Relmodel.Optimizer.request ->
+  template ->
+  range:float * float ->
+  ?buckets:int ->
+  required:Relalg.Phys_prop.t ->
+  unit ->
+  t
+(** Optimize the template at [buckets] (default 8) evenly spaced
+    witnesses across [range], merging adjacent intervals whose winning
+    plans have the same shape.
+    @raise Invalid_argument if any bucket fails to produce a plan. *)
+
+val choose : t -> Relalg.Value.t -> bucket
+(** The bucket covering the actual parameter value (clamped to the
+    range). *)
+
+val instantiate :
+  Relmodel.Optimizer.plan_node -> witness:float -> actual:Relalg.Value.t ->
+  Relalg.Physical.plan
+(** Substitute the actual parameter for the witness constant throughout
+    the plan's predicates, yielding an executable plan. *)
+
+val execute :
+  Catalog.t -> t -> param:Relalg.Value.t ->
+  Relalg.Tuple.t array * Relalg.Schema.t * Executor.Io_stats.t
+(** Choose, instantiate, run. *)
+
+val n_distinct_plans : t -> int

@@ -1,0 +1,1 @@
+lib/executor/executor.ml: Array Catalog Cursor Engine Expr Hashtbl Io_stats List Logical Relalg Schema Seq Tuple

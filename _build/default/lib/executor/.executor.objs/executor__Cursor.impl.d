@@ -1,0 +1,1 @@
+lib/executor/cursor.ml: Array List Option Relalg

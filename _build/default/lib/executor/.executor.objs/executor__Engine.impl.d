@@ -1,0 +1,1 @@
+lib/executor/engine.ml: Array Catalog Cursor Expr Hashtbl Io_stats List Logical Option Physical Relalg Schema Seq Sort_order Tuple Value

@@ -1,0 +1,1 @@
+lib/executor/io_stats.ml: Format

@@ -1,0 +1,64 @@
+type t = {
+  schema : Relalg.Schema.t;
+  open_ : unit -> unit;
+  next : unit -> Relalg.Tuple.t option;
+  close : unit -> unit;
+}
+
+let of_array schema tuples =
+  let pos = ref 0 in
+  {
+    schema;
+    open_ = (fun () -> pos := 0);
+    next =
+      (fun () ->
+        if !pos >= Array.length tuples then None
+        else begin
+          let t = tuples.(!pos) in
+          incr pos;
+          Some t
+        end);
+    close = ignore;
+  }
+
+let to_array c =
+  c.open_ ();
+  let out = ref [] in
+  let rec drain () =
+    match c.next () with
+    | None -> ()
+    | Some t ->
+      out := t :: !out;
+      drain ()
+  in
+  drain ();
+  c.close ();
+  Array.of_list (List.rev !out)
+
+let iter f c =
+  c.open_ ();
+  let rec drain () =
+    match c.next () with
+    | None -> ()
+    | Some t ->
+      f t;
+      drain ()
+  in
+  drain ();
+  c.close ()
+
+let map_stream schema f input =
+  {
+    schema;
+    open_ = input.open_;
+    next = (fun () -> Option.map f (input.next ()));
+    close = input.close;
+  }
+
+let filter_stream keep input =
+  let rec next () =
+    match input.next () with
+    | None -> None
+    | Some t -> if keep t then Some t else next ()
+  in
+  { schema = input.schema; open_ = input.open_; next; close = input.close }

@@ -1,0 +1,23 @@
+(** The Volcano iterator interface: every query processing algorithm is
+    an operator with open/next/close, consuming and producing streams of
+    tuples (Graefe's Volcano execution model, which this optimizer was
+    built to feed). *)
+
+type t = {
+  schema : Relalg.Schema.t;
+  open_ : unit -> unit;
+  next : unit -> Relalg.Tuple.t option;
+  close : unit -> unit;
+}
+
+val of_array : Relalg.Schema.t -> Relalg.Tuple.t array -> t
+
+val to_array : t -> Relalg.Tuple.t array
+(** Drive a cursor to exhaustion: open, drain, close. *)
+
+val iter : (Relalg.Tuple.t -> unit) -> t -> unit
+
+val map_stream : Relalg.Schema.t -> (Relalg.Tuple.t -> Relalg.Tuple.t) -> t -> t
+(** One-in one-out streaming operator over an input cursor. *)
+
+val filter_stream : (Relalg.Tuple.t -> bool) -> t -> t

@@ -1,0 +1,656 @@
+(** Compilation of physical plans into Volcano iterators, with page I/O
+    accounting that mirrors the cost model's assumptions (paged scans,
+    sorts that spill past the workspace, hash joins without partition
+    files). *)
+
+open Relalg
+
+type context = {
+  catalog : Catalog.t;
+  page_bytes : int;
+  memory_pages : int;
+  io : Io_stats.t;
+}
+
+let context ?(page_bytes = 4096) ?(memory_pages = 1024) catalog =
+  { catalog; page_bytes; memory_pages; io = Io_stats.create () }
+
+let pages_of ctx schema n_tuples =
+  max 1 ((n_tuples * Schema.row_width schema + ctx.page_bytes - 1) / ctx.page_bytes)
+
+let aggregate_schema = Catalog.Plan_schema.aggregate_schema
+
+let schema_of ctx (p : Physical.plan) : Schema.t = Catalog.plan_schema ctx.catalog p
+
+(* ---------------------------------------------------------------------- *)
+(* Aggregate evaluation                                                    *)
+(* ---------------------------------------------------------------------- *)
+
+type agg_state = {
+  mutable rows : int;
+  mutable non_null : int;
+  mutable sum : Value.t;
+  mutable min_v : Value.t option;
+  mutable max_v : Value.t option;
+}
+
+let agg_state () = { rows = 0; non_null = 0; sum = Value.Null; min_v = None; max_v = None }
+
+let agg_update schema (a : Logical.agg) st tuple =
+  st.rows <- st.rows + 1;
+  match a.column with
+  | None -> ()
+  | Some col ->
+    let v = Tuple.get tuple (Schema.index_of schema col) in
+    if not (Value.is_null v) then begin
+      st.non_null <- st.non_null + 1;
+      st.sum <- (if Value.is_null st.sum then v else Value.add st.sum v);
+      (match st.min_v with
+       | None -> st.min_v <- Some v
+       | Some m -> if Value.compare v m < 0 then st.min_v <- Some v);
+      match st.max_v with
+      | None -> st.max_v <- Some v
+      | Some m -> if Value.compare v m > 0 then st.max_v <- Some v
+    end
+
+let agg_finalize (a : Logical.agg) st : Value.t =
+  match a.func with
+  | Logical.Count -> Value.Int (match a.column with None -> st.rows | Some _ -> st.non_null)
+  | Logical.Sum -> st.sum
+  | Logical.Min -> Option.value st.min_v ~default:Value.Null
+  | Logical.Max -> Option.value st.max_v ~default:Value.Null
+  | Logical.Avg ->
+    if st.non_null = 0 then Value.Null
+    else begin
+      match Value.to_float st.sum with
+      | Some s -> Value.Float (s /. float_of_int st.non_null)
+      | None -> Value.Null
+    end
+
+(* ---------------------------------------------------------------------- *)
+(* Operators                                                               *)
+(* ---------------------------------------------------------------------- *)
+
+let table_scan ctx name : Cursor.t =
+  let table = Catalog.find ctx.catalog name in
+  let inner = Cursor.of_array table.schema table.tuples in
+  {
+    inner with
+    Cursor.open_ =
+      (fun () ->
+        Io_stats.read ctx.io (pages_of ctx table.schema (Array.length table.tuples));
+        inner.Cursor.open_ ());
+  }
+
+(* A clustered-index range scan, simulated over the in-memory heap:
+   deliver the qualifying rows in key order, reading only the pages the
+   qualifying fraction occupies (plus one for the index descent). *)
+let index_scan ctx name cols pred : Cursor.t =
+  let table = Catalog.find ctx.catalog name in
+  let keep = Expr.eval_pred table.schema pred in
+  let state = ref [||] in
+  let pos = ref 0 in
+  {
+    Cursor.schema = table.schema;
+    open_ =
+      (fun () ->
+        let qualifying = Array.of_seq (Seq.filter keep (Array.to_seq table.tuples)) in
+        Array.sort (Sort_order.compare_tuples table.schema (Sort_order.asc cols)) qualifying;
+        Io_stats.read ctx.io (1 + pages_of ctx table.schema (Array.length qualifying));
+        state := qualifying;
+        pos := 0);
+    next =
+      (fun () ->
+        if !pos >= Array.length !state then None
+        else begin
+          let t = !state.(!pos) in
+          incr pos;
+          Some t
+        end);
+    close = (fun () -> state := [||]);
+  }
+
+(* Materialize an input, counting spill I/O when it exceeds the sort
+   workspace (single-level merge: write runs, read them back). *)
+let materialize_for_sort ctx (input : Cursor.t) =
+  let tuples = Cursor.to_array input in
+  let pages = pages_of ctx input.Cursor.schema (Array.length tuples) in
+  if pages > ctx.memory_pages then begin
+    Io_stats.write ctx.io pages;
+    Io_stats.read ctx.io pages
+  end;
+  tuples
+
+let sort_op ctx order ~dedup (input : Cursor.t) : Cursor.t =
+  let schema = input.Cursor.schema in
+  let state = ref [||] in
+  let pos = ref 0 in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        let tuples = materialize_for_sort ctx input in
+        Array.sort (Sort_order.compare_tuples schema order) tuples;
+        let deduped =
+          if not dedup then tuples
+          else begin
+            let out = ref [] in
+            Array.iter
+              (fun t ->
+                match !out with
+                | prev :: _ when Tuple.equal prev t -> ()
+                | _ -> out := t :: !out)
+              tuples;
+            Array.of_list (List.rev !out)
+          end
+        in
+        state := deduped;
+        pos := 0);
+    next =
+      (fun () ->
+        if !pos >= Array.length !state then None
+        else begin
+          let t = !state.(!pos) in
+          incr pos;
+          Some t
+        end);
+    close = (fun () -> state := [||]);
+  }
+
+let hash_dedup_op (input : Cursor.t) : Cursor.t =
+  let seen = Hashtbl.create 256 in
+  let next () =
+    let rec go () =
+      match input.Cursor.next () with
+      | None -> None
+      | Some t ->
+        let key = Array.to_list t in
+        if Hashtbl.mem seen key then go ()
+        else begin
+          Hashtbl.add seen key ();
+          Some t
+        end
+    in
+    go ()
+  in
+  {
+    Cursor.schema = input.Cursor.schema;
+    open_ =
+      (fun () ->
+        Hashtbl.reset seen;
+        input.Cursor.open_ ());
+    next;
+    close = input.Cursor.close;
+  }
+
+let nested_loop_join pred (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  let schema = Schema.concat left.Cursor.schema right.Cursor.schema in
+  let keep = Expr.eval_pred schema pred in
+  let inner = ref [||] in
+  let outer_cur = ref None in
+  let inner_pos = ref 0 in
+  let rec next () =
+    match !outer_cur with
+    | None -> begin
+      match left.Cursor.next () with
+      | None -> None
+      | Some l ->
+        outer_cur := Some l;
+        inner_pos := 0;
+        next ()
+    end
+    | Some l ->
+      if !inner_pos >= Array.length !inner then begin
+        outer_cur := None;
+        next ()
+      end
+      else begin
+        let r = !inner.(!inner_pos) in
+        incr inner_pos;
+        let joined = Tuple.concat l r in
+        if keep joined then Some joined else next ()
+      end
+  in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        inner := Cursor.to_array right;
+        outer_cur := None;
+        inner_pos := 0;
+        left.Cursor.open_ ());
+    next;
+    close =
+      (fun () ->
+        inner := [||];
+        left.Cursor.close ());
+  }
+
+let hash_join keys pred (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  let schema = Schema.concat left.Cursor.schema right.Cursor.schema in
+  let keep = Expr.eval_pred schema pred in
+  let lidx = List.map (fun (l, _) -> Schema.index_of left.Cursor.schema l) keys in
+  let ridx = List.map (fun (_, r) -> Schema.index_of right.Cursor.schema r) keys in
+  let table : (Value.t list, Tuple.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let probe_cur = ref None in
+  let matches = ref [] in
+  let rec next () =
+    match !matches with
+    | r :: rest -> begin
+      matches := rest;
+      match !probe_cur with
+      | None -> assert false
+      | Some l ->
+        let joined = Tuple.concat l r in
+        if keep joined then Some joined else next ()
+    end
+    | [] -> begin
+      match left.Cursor.next () with
+      | None -> None
+      | Some l ->
+        probe_cur := Some l;
+        let key = List.map (fun i -> Tuple.get l i) lidx in
+        matches := (match Hashtbl.find_opt table key with Some ts -> ts | None -> []);
+        next ()
+    end
+  in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        Hashtbl.reset table;
+        (* Build on the right input. *)
+        Cursor.iter
+          (fun r ->
+            let key = List.map (fun i -> Tuple.get r i) ridx in
+            let existing =
+              match Hashtbl.find_opt table key with Some ts -> ts | None -> []
+            in
+            Hashtbl.replace table key (r :: existing))
+          right;
+        probe_cur := None;
+        matches := [];
+        left.Cursor.open_ ());
+    next;
+    close =
+      (fun () ->
+        Hashtbl.reset table;
+        left.Cursor.close ());
+  }
+
+(* Streaming merge join over inputs sorted on the equi-key columns:
+   buffers one group of equal keys per side, emits their cross product
+   (filtered by the residual predicate), then advances both sides. *)
+let merge_join keys pred (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  let schema = Schema.concat left.Cursor.schema right.Cursor.schema in
+  let keep = Expr.eval_pred schema pred in
+  let lidx = List.map (fun (l, _) -> Schema.index_of left.Cursor.schema l) keys in
+  let ridx = List.map (fun (_, r) -> Schema.index_of right.Cursor.schema r) keys in
+  let key_of idx t = List.map (fun i -> Tuple.get t i) idx in
+  let compare_keys k1 k2 =
+    List.fold_left2 (fun acc a b -> if acc <> 0 then acc else Value.compare a b) 0 k1 k2
+  in
+  let lcur = ref None and rcur = ref None in
+  let queue = ref [] in
+  let advance_l () = lcur := left.Cursor.next () in
+  let advance_r () = rcur := right.Cursor.next () in
+  (* Collect all consecutive tuples with the given key; leaves the
+     cursor state at the first non-matching tuple. *)
+  let collect_group cur advance idx key =
+    let group = ref [] in
+    let rec go () =
+      match !cur with
+      | Some t when compare_keys (key_of idx t) key = 0 ->
+        group := t :: !group;
+        advance ();
+        go ()
+      | Some _ | None -> ()
+    in
+    go ();
+    List.rev !group
+  in
+  let rec next () =
+    match !queue with
+    | t :: rest ->
+      queue := rest;
+      if keep t then Some t else next ()
+    | [] -> begin
+      match !lcur, !rcur with
+      | None, _ | _, None -> None
+      | Some l, Some r ->
+        let lk = key_of lidx l and rk = key_of ridx r in
+        let c = compare_keys lk rk in
+        if c < 0 then begin
+          advance_l ();
+          next ()
+        end
+        else if c > 0 then begin
+          advance_r ();
+          next ()
+        end
+        else begin
+          let lgroup = collect_group lcur advance_l lidx lk in
+          let rgroup = collect_group rcur advance_r ridx rk in
+          queue :=
+            List.concat_map (fun lt -> List.map (fun rt -> Tuple.concat lt rt) rgroup) lgroup;
+          next ()
+        end
+    end
+  in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        left.Cursor.open_ ();
+        right.Cursor.open_ ();
+        advance_l ();
+        advance_r ();
+        queue := []);
+    next;
+    close =
+      (fun () ->
+        left.Cursor.close ();
+        right.Cursor.close ());
+  }
+
+(* Set operations. Hash-based variants treat inputs as bags and emit
+   sets; merge-based variants rely on both inputs arriving sorted in the
+   same positional order and duplicate-free, as their implementation
+   rules require. *)
+
+let hash_union (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  let seen = Hashtbl.create 256 in
+  let side = ref `Left in
+  let rec next () =
+    let candidate =
+      match !side with
+      | `Left -> begin
+        match left.Cursor.next () with
+        | Some t -> Some t
+        | None ->
+          side := `Right;
+          right.Cursor.next ()
+      end
+      | `Right -> right.Cursor.next ()
+    in
+    match candidate with
+    | None -> None
+    | Some t ->
+      let key = Array.to_list t in
+      if Hashtbl.mem seen key then next ()
+      else begin
+        Hashtbl.add seen key ();
+        Some t
+      end
+  in
+  {
+    Cursor.schema = left.Cursor.schema;
+    open_ =
+      (fun () ->
+        Hashtbl.reset seen;
+        side := `Left;
+        left.Cursor.open_ ();
+        right.Cursor.open_ ());
+    next;
+    close =
+      (fun () ->
+        left.Cursor.close ();
+        right.Cursor.close ());
+  }
+
+let hash_semi ~anti (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  (* Intersection (anti=false) or difference (anti=true) with set
+     output. *)
+  let members = Hashtbl.create 256 in
+  let emitted = Hashtbl.create 256 in
+  let rec next () =
+    match left.Cursor.next () with
+    | None -> None
+    | Some t ->
+      let key = Array.to_list t in
+      let in_right = Hashtbl.mem members key in
+      let wanted = if anti then not in_right else in_right in
+      if wanted && not (Hashtbl.mem emitted key) then begin
+        Hashtbl.add emitted key ();
+        Some t
+      end
+      else next ()
+  in
+  {
+    Cursor.schema = left.Cursor.schema;
+    open_ =
+      (fun () ->
+        Hashtbl.reset members;
+        Hashtbl.reset emitted;
+        Cursor.iter (fun t -> Hashtbl.replace members (Array.to_list t) ()) right;
+        left.Cursor.open_ ());
+    next;
+    close = left.Cursor.close;
+  }
+
+let merge_setop kind (left : Cursor.t) (right : Cursor.t) : Cursor.t =
+  let lcur = ref None and rcur = ref None in
+  let compare_tuples (a : Tuple.t) (b : Tuple.t) =
+    let n = min (Array.length a) (Array.length b) in
+    let rec go i =
+      if i >= n then 0
+      else begin
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  in
+  (* Advance a side past every tuple equal to the one just consumed:
+     inputs only need to be sorted, not duplicate-free, and the output
+     is a set. *)
+  let skip_l l =
+    let rec go () =
+      lcur := left.Cursor.next ();
+      match !lcur with Some t when compare_tuples t l = 0 -> go () | _ -> ()
+    in
+    go ()
+  in
+  let skip_r r =
+    let rec go () =
+      rcur := right.Cursor.next ();
+      match !rcur with Some t when compare_tuples t r = 0 -> go () | _ -> ()
+    in
+    go ()
+  in
+  let rec next () =
+    match !lcur, !rcur with
+    | None, None -> None
+    | Some l, None -> begin
+      match kind with
+      | `Union | `Difference ->
+        skip_l l;
+        Some l
+      | `Intersect -> None
+    end
+    | None, Some r -> begin
+      match kind with
+      | `Union ->
+        skip_r r;
+        Some r
+      | `Intersect | `Difference -> None
+    end
+    | Some l, Some r ->
+      let c = compare_tuples l r in
+      if c < 0 then begin
+        skip_l l;
+        match kind with `Union | `Difference -> Some l | `Intersect -> next ()
+      end
+      else if c > 0 then begin
+        skip_r r;
+        match kind with `Union -> Some r | `Intersect | `Difference -> next ()
+      end
+      else begin
+        skip_l l;
+        skip_r r;
+        match kind with `Union | `Intersect -> Some l | `Difference -> next ()
+      end
+  in
+  {
+    Cursor.schema = left.Cursor.schema;
+    open_ =
+      (fun () ->
+        left.Cursor.open_ ();
+        right.Cursor.open_ ();
+        lcur := left.Cursor.next ();
+        rcur := right.Cursor.next ());
+    next;
+    close =
+      (fun () ->
+        left.Cursor.close ();
+        right.Cursor.close ());
+  }
+
+let hash_aggregate keys aggs (input : Cursor.t) : Cursor.t =
+  let in_schema = input.Cursor.schema in
+  let schema = aggregate_schema in_schema keys aggs in
+  let kidx = List.map (Schema.index_of in_schema) keys in
+  let groups : (Value.t list, agg_state list) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let pending = ref [] in
+  let finalize key states =
+    Array.of_list (key @ List.map2 agg_finalize aggs states)
+  in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        Hashtbl.reset groups;
+        order := [];
+        Cursor.iter
+          (fun t ->
+            let key = List.map (fun i -> Tuple.get t i) kidx in
+            let states =
+              match Hashtbl.find_opt groups key with
+              | Some s -> s
+              | None ->
+                let s = List.map (fun _ -> agg_state ()) aggs in
+                Hashtbl.add groups key s;
+                order := key :: !order;
+                s
+            in
+            List.iter2 (fun a st -> agg_update in_schema a st t) aggs states)
+          input;
+        pending :=
+          List.rev_map (fun key -> finalize key (Hashtbl.find groups key)) !order);
+    next =
+      (fun () ->
+        match !pending with
+        | [] -> None
+        | t :: rest ->
+          pending := rest;
+          Some t);
+    close = (fun () -> Hashtbl.reset groups);
+  }
+
+let stream_aggregate keys aggs (input : Cursor.t) : Cursor.t =
+  let in_schema = input.Cursor.schema in
+  let schema = aggregate_schema in_schema keys aggs in
+  let kidx = List.map (Schema.index_of in_schema) keys in
+  let current_key = ref None in
+  let states = ref [] in
+  let lookahead = ref None in
+  let finalize key sts = Array.of_list (key @ List.map2 agg_finalize aggs sts) in
+  let rec next () =
+    let tuple =
+      match !lookahead with
+      | Some t ->
+        lookahead := None;
+        Some t
+      | None -> input.Cursor.next ()
+    in
+    match tuple, !current_key with
+    | None, None -> None
+    | None, Some key ->
+      let out = finalize key !states in
+      current_key := None;
+      states := [];
+      Some out
+    | Some t, _ ->
+      let key = List.map (fun i -> Tuple.get t i) kidx in
+      (match !current_key with
+       | Some k when k <> key ->
+         (* Group boundary: emit the finished group, keep the tuple. *)
+         let out = finalize k !states in
+         current_key := Some key;
+         states := List.map (fun _ -> agg_state ()) aggs;
+         List.iter2 (fun a st -> agg_update in_schema a st t) aggs !states;
+         Some out
+       | Some _ ->
+         List.iter2 (fun a st -> agg_update in_schema a st t) aggs !states;
+         next ()
+       | None ->
+         current_key := Some key;
+         states := List.map (fun _ -> agg_state ()) aggs;
+         List.iter2 (fun a st -> agg_update in_schema a st t) aggs !states;
+         next ())
+  in
+  {
+    Cursor.schema;
+    open_ =
+      (fun () ->
+        current_key := None;
+        states := [];
+        lookahead := None;
+        input.Cursor.open_ ());
+    next;
+    close = input.Cursor.close;
+  }
+
+(* ---------------------------------------------------------------------- *)
+(* Plan compilation                                                        *)
+(* ---------------------------------------------------------------------- *)
+
+let rec compile ctx (p : Physical.plan) : Cursor.t =
+  let child i = compile ctx (List.nth p.children i) in
+  match p.alg with
+  | Physical.Table_scan name -> table_scan ctx name
+  | Physical.Index_scan (name, cols, pred) -> index_scan ctx name cols pred
+  | Physical.Filter pred ->
+    let input = child 0 in
+    Cursor.filter_stream (Expr.eval_pred input.Cursor.schema pred) input
+  | Physical.Project_cols cols ->
+    let input = child 0 in
+    let schema = Schema.project input.Cursor.schema cols in
+    let idx = List.map (Schema.index_of input.Cursor.schema) cols in
+    Cursor.map_stream schema
+      (fun t -> Array.of_list (List.map (fun i -> Tuple.get t i) idx))
+      input
+  | Physical.Nested_loop_join pred -> nested_loop_join pred (child 0) (child 1)
+  | Physical.Merge_join (keys, pred) -> merge_join keys pred (child 0) (child 1)
+  | Physical.Hash_join (keys, pred) -> hash_join keys pred (child 0) (child 1)
+  | Physical.Hash_join_project (keys, pred, cols) ->
+    let joined = hash_join keys pred (child 0) (child 1) in
+    let schema = Schema.project joined.Cursor.schema cols in
+    let idx = List.map (Schema.index_of joined.Cursor.schema) cols in
+    Cursor.map_stream schema
+      (fun t -> Array.of_list (List.map (fun i -> Tuple.get t i) idx))
+      joined
+  | Physical.Sort order -> sort_op ctx order ~dedup:false (child 0)
+  | Physical.Repartition _ | Physical.Gather | Physical.Merge_gather _ ->
+    (* Exchanges are physical-distribution operators; the single-node
+       simulation executes them as identity (see DESIGN.md
+       substitutions — their cost, not their data flow, is modeled). *)
+    child 0
+  | Physical.Sort_dedup order -> sort_op ctx order ~dedup:true (child 0)
+  | Physical.Hash_dedup -> hash_dedup_op (child 0)
+  | Physical.Merge_union -> merge_setop `Union (child 0) (child 1)
+  | Physical.Hash_union -> hash_union (child 0) (child 1)
+  | Physical.Merge_intersect -> merge_setop `Intersect (child 0) (child 1)
+  | Physical.Hash_intersect -> hash_semi ~anti:false (child 0) (child 1)
+  | Physical.Merge_difference -> merge_setop `Difference (child 0) (child 1)
+  | Physical.Hash_difference -> hash_semi ~anti:true (child 0) (child 1)
+  | Physical.Stream_aggregate (keys, aggs) -> stream_aggregate keys aggs (child 0)
+  | Physical.Hash_aggregate (keys, aggs) -> hash_aggregate keys aggs (child 0)
+
+let run ?page_bytes ?memory_pages catalog plan =
+  let ctx = context ?page_bytes ?memory_pages catalog in
+  let cursor = compile ctx plan in
+  let tuples = Cursor.to_array cursor in
+  Io_stats.produced ctx.io (Array.length tuples);
+  (tuples, cursor.Cursor.schema, ctx.io)

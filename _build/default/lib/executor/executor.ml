@@ -1,0 +1,88 @@
+(** Volcano iterator-model execution engine: compiles physical plans
+    into open/next/close cursors over the catalog's paged storage, with
+    I/O accounting that mirrors the cost model. *)
+
+module Cursor = Cursor
+module Engine = Engine
+module Io_stats = Io_stats
+
+(** [run catalog plan] executes a physical plan and returns its output
+    tuples, their schema, and the I/O counters. *)
+let run = Engine.run
+
+(** Canonical naive execution of a {e logical} expression, used as a
+    semantics oracle by tests: every operator is evaluated by its
+    textbook set/bag definition, with no optimizer involved. *)
+let rec naive catalog (e : Relalg.Logical.expr) : Relalg.Tuple.t array * Relalg.Schema.t =
+  let open Relalg in
+  match e.op, e.inputs with
+  | Logical.Get name, [] ->
+    let t = Catalog.find catalog name in
+    (Array.copy t.tuples, t.schema)
+  | Logical.Select pred, [ input ] ->
+    let tuples, schema = naive catalog input in
+    let keep = Expr.eval_pred schema pred in
+    (Array.of_seq (Seq.filter keep (Array.to_seq tuples)), schema)
+  | Logical.Project cols, [ input ] ->
+    let tuples, schema = naive catalog input in
+    let out_schema = Schema.project schema cols in
+    (Array.map (Tuple.project schema cols) tuples, out_schema)
+  | Logical.Join pred, [ l; r ] ->
+    let lt, ls = naive catalog l in
+    let rt, rs = naive catalog r in
+    let schema = Schema.concat ls rs in
+    let keep = Expr.eval_pred schema pred in
+    let out = ref [] in
+    Array.iter
+      (fun a ->
+        Array.iter
+          (fun b ->
+            let j = Tuple.concat a b in
+            if keep j then out := j :: !out)
+          rt)
+      lt;
+    (Array.of_list (List.rev !out), schema)
+  | Logical.Union, [ l; r ] ->
+    let lt, ls = naive catalog l in
+    let rt, _ = naive catalog r in
+    (dedup (Array.append lt rt), ls)
+  | Logical.Intersect, [ l; r ] ->
+    let lt, ls = naive catalog l in
+    let rt, _ = naive catalog r in
+    let right = tuple_set rt in
+    (dedup (Array.of_seq (Seq.filter (fun t -> Hashtbl.mem right (Array.to_list t)) (Array.to_seq lt))), ls)
+  | Logical.Difference, [ l; r ] ->
+    let lt, ls = naive catalog l in
+    let rt, _ = naive catalog r in
+    let right = tuple_set rt in
+    ( dedup
+        (Array.of_seq
+           (Seq.filter (fun t -> not (Hashtbl.mem right (Array.to_list t))) (Array.to_seq lt))),
+      ls )
+  | Logical.Group_by (keys, aggs), [ input ] ->
+    let tuples, schema = naive catalog input in
+    (* Reuse the engine's aggregate operator over an in-memory cursor to
+       avoid duplicating the aggregate semantics. *)
+    let cursor = Engine.hash_aggregate keys aggs (Cursor.of_array schema tuples) in
+    (Cursor.to_array cursor, cursor.Cursor.schema)
+  | (Logical.Get _ | Logical.Select _ | Logical.Project _ | Logical.Join _
+    | Logical.Union | Logical.Intersect | Logical.Difference | Logical.Group_by _), _ ->
+    invalid_arg "Executor.naive: arity mismatch"
+
+and dedup tuples =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  Array.iter
+    (fun t ->
+      let key = Array.to_list t in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := t :: !out
+      end)
+    tuples;
+  Array.of_list (List.rev !out)
+
+and tuple_set tuples =
+  let set = Hashtbl.create 64 in
+  Array.iter (fun t -> Hashtbl.replace set (Array.to_list t) ()) tuples;
+  set

@@ -1,0 +1,20 @@
+(** Page I/O accounting for executed plans, so measured I/O can be
+    compared against the cost model's estimates. *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable tuples_produced : int;
+}
+
+let create () = { page_reads = 0; page_writes = 0; tuples_produced = 0 }
+
+let read t n = t.page_reads <- t.page_reads + n
+
+let write t n = t.page_writes <- t.page_writes + n
+
+let produced t n = t.tuples_produced <- t.tuples_produced + n
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d tuples=%d" t.page_reads t.page_writes
+    t.tuples_produced

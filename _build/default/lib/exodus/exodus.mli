@@ -1,0 +1,49 @@
+(** The comparison baseline of the paper's Section 4: a reimplementation
+    of the EXODUS optimizer generator's search behaviour, with the
+    properties the paper criticizes:
+
+    - {e forward chaining}: transformations are applied in order of
+      expected cost improvement — the product of a rule factor and the
+      current cost of the expression being transformed — which prefers
+      nodes near the top of the query and is "driven by possibilities,
+      not needs";
+    - {e immediate cost analysis}: every transformation is followed by
+      algorithm selection and cost analysis for the new node;
+    - {e reanalysis}: when a class's best cost changes, every consumer
+      node above is recosted, transitively (the dominant cost for
+      larger queries, per §4.2);
+    - {e no physical-property search}: there are no enforcers and no
+      property-driven subgoals; merge join pays for sorting both its
+      inputs inside its own cost function, and a required output order
+      is satisfied by gluing a final sort onto the chosen plan.
+
+    The logical search space (join commutativity and associativity with
+    predicate redistribution, selection pushdown) matches the Volcano
+    model's, so plan-quality differences are attributable to the search
+    strategy, as in Figure 4. *)
+
+type stats = {
+  mutable classes : int;
+  mutable nodes : int;
+  mutable transformations : int;  (** rule applications popped and applied *)
+  mutable reanalyses : int;  (** consumer recostings after a change below *)
+  mutable selections : int;  (** algorithm-selection passes over a node *)
+}
+
+type result = {
+  plan : Relalg.Physical.plan option;
+  cost : Relalg.Cost.t;  (** estimated cost of [plan], including any glue sort *)
+  aborted : bool;
+      (** the node budget ran out before the queue drained — the paper's
+          EXODUS runs "aborted due to lack of memory or ... ran much
+          longer"; the best plan found so far is still returned *)
+  stats : stats;
+}
+
+val optimize :
+  catalog:Catalog.t ->
+  ?params:Relalg.Cost_model.params ->
+  ?max_nodes:int ->
+  Relalg.Logical.expr ->
+  required:Relalg.Phys_prop.t ->
+  result

@@ -1,0 +1,1 @@
+lib/oomodel/oo_algebra.ml: List Printf Set String

@@ -1,0 +1,1 @@
+lib/oomodel/oo_model.ml: Buffer Float Hashtbl List Oo_algebra Option Path_set Printf Relalg String Volcano

@@ -1,0 +1,1 @@
+lib/oomodel/oo_model.mli: Oo_algebra Relalg Volcano

@@ -1,0 +1,81 @@
+type path = string list
+
+let path_to_string p = String.concat "." p
+
+type class_info = {
+  cname : string;
+  extent_size : float;
+  object_bytes : int;
+  references : (string * string) list;
+}
+
+type store = class_info list
+
+let find_class store name = List.find (fun c -> String.equal c.cname name) store
+
+let valid_path store ~root path =
+  let rec go cls = function
+    | [] -> true
+    | step :: rest -> begin
+      match List.assoc_opt step cls.references with
+      | None -> false
+      | Some target -> begin
+        match find_class store target with
+        | cls' -> go cls' rest
+        | exception Not_found -> false
+      end
+    end
+  in
+  match find_class store root with
+  | cls -> go cls path
+  | exception Not_found -> false
+
+type op =
+  | Extent of string
+  | O_select of path * float
+  | Materialize of path list
+
+let op_arity = function Extent _ -> 0 | O_select _ | Materialize _ -> 1
+
+let op_name = function
+  | Extent c -> "extent(" ^ c ^ ")"
+  | O_select (p, sel) -> Printf.sprintf "select[%s; sel=%.2f]" (path_to_string p) sel
+  | Materialize ps ->
+    "materialize[" ^ String.concat ", " (List.map path_to_string ps) ^ "]"
+
+type alg =
+  | Extent_scan of string
+  | O_filter of path * float
+  | Pointer_chase of path list
+  | Assembly of path list
+
+let alg_arity = function
+  | Extent_scan _ -> 0
+  | O_filter _ | Pointer_chase _ | Assembly _ -> 1
+
+let alg_name = function
+  | Extent_scan c -> "extent_scan(" ^ c ^ ")"
+  | O_filter (p, sel) -> Printf.sprintf "filter[%s; sel=%.2f]" (path_to_string p) sel
+  | Pointer_chase ps ->
+    "pointer_chase[" ^ String.concat ", " (List.map path_to_string ps) ^ "]"
+  | Assembly ps -> "assembly[" ^ String.concat ", " (List.map path_to_string ps) ^ "]"
+
+type props = {
+  root : string;
+  card : float;
+  store : store;
+}
+
+module Path_set = Set.Make (struct
+  type t = path
+
+  let compare = compare
+end)
+
+type phys = Path_set.t
+
+let phys_covers ~provided ~required = Path_set.subset required provided
+
+let phys_to_string s =
+  if Path_set.is_empty s then "{}"
+  else "{" ^ String.concat ", " (List.map path_to_string (Path_set.elements s)) ^ "}"

@@ -1,0 +1,1 @@
+lib/relalg/cost.mli: Format

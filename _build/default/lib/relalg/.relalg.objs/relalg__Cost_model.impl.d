@@ -1,0 +1,1 @@
+lib/relalg/cost_model.ml: Cost Float List Logical_props Physical

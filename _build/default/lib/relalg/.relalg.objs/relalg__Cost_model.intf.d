@@ -1,0 +1,1 @@
+lib/relalg/cost_model.mli: Cost Logical_props Physical

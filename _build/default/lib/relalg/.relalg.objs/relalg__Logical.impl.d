@@ -1,0 +1,1 @@
+lib/relalg/logical.ml: Expr Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/relalg/logical.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/relalg/logical_props.ml: Float Format List Schema

@@ -1,0 +1,1 @@
+lib/relalg/logical_props.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/relalg/phys_prop.ml: Bool Format Hashtbl List Sort_order String

@@ -1,0 +1,1 @@
+lib/relalg/phys_prop.mli: Format Sort_order

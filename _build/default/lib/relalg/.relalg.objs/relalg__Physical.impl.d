@@ -1,0 +1,1 @@
+lib/relalg/physical.ml: Expr Format List Logical Printf Sort_order String

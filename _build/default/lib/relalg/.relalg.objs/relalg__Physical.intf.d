@@ -1,0 +1,1 @@
+lib/relalg/physical.mli: Expr Format Logical Sort_order

@@ -1,0 +1,1 @@
+lib/relalg/sort_order.ml: Array Format List String Tuple

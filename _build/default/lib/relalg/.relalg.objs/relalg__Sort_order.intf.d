@@ -1,0 +1,1 @@
+lib/relalg/sort_order.mli: Format Schema Tuple

@@ -1,0 +1,1 @@
+lib/relalg/tuple.mli: Format Schema Value

@@ -1,0 +1,35 @@
+type t = {
+  io : float;
+  cpu : float;
+}
+
+let zero = { io = 0.; cpu = 0. }
+
+let make ~io ~cpu = { io = Float.max 0. io; cpu = Float.max 0. cpu }
+
+let infinite = { io = Float.infinity; cpu = Float.infinity }
+
+let is_infinite t = t.io = Float.infinity || t.cpu = Float.infinity
+
+let add a b = { io = a.io +. b.io; cpu = a.cpu +. b.cpu }
+
+let sub a b =
+  if is_infinite a then infinite
+  else { io = Float.max 0. (a.io -. b.io); cpu = Float.max 0. (a.cpu -. b.cpu) }
+
+let scale f t =
+  if is_infinite t then infinite else { io = t.io *. f; cpu = t.cpu *. f }
+
+let total t = t.io +. t.cpu
+
+let compare a b = Float.compare (total a) (total b)
+
+let ( <% ) a b = compare a b < 0
+
+let ( <=% ) a b = compare a b <= 0
+
+let pp ppf t =
+  if is_infinite t then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "%.6fs (io %.6f, cpu %.6f)" (total t) t.io t.cpu
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,40 @@
+(** The cost abstract data type (paper §2.2): a record of estimated
+    I/O and CPU seconds, combined and compared only through the
+    functions here, mirroring the System R-style cost model the paper
+    suggests. *)
+
+type t = private {
+  io : float;  (** seconds spent on I/O *)
+  cpu : float;  (** seconds of CPU work *)
+}
+
+val zero : t
+
+val make : io:float -> cpu:float -> t
+
+val infinite : t
+
+val is_infinite : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Used for branch-and-bound limit propagation; clamps at zero per
+    component and keeps infinity absorbing. *)
+
+val scale : float -> t -> t
+(** Multiply both components (e.g. dividing work across parallel
+    workers). *)
+
+val total : t -> float
+(** Scalar magnitude used for comparison (I/O + CPU seconds). *)
+
+val compare : t -> t -> int
+
+val ( <% ) : t -> t -> bool
+
+val ( <=% ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

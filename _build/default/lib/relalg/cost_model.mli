@@ -1,0 +1,34 @@
+(** Per-algorithm cost functions, parameterized the way the paper's
+    experiments are set up (§4.2): costs include both I/O and CPU,
+    hybrid hash join proceeds without partition files, and sorting is
+    a single-level merge. *)
+
+type params = {
+  page_bytes : int;
+  io_time : float;  (** seconds per page read or written *)
+  cpu_tuple : float;  (** seconds to produce/copy one tuple *)
+  cpu_compare : float;  (** seconds per comparison *)
+  cpu_hash : float;  (** seconds per hash/probe operation *)
+  memory_pages : int;  (** workspace available to sort before spilling *)
+  workers : int;  (** degree of parallelism for partitioned execution *)
+  net_tuple : float;  (** seconds to ship one tuple through an exchange *)
+}
+
+val default : params
+(** Calibrated so a scan of a paper-sized relation (1,200–7,200 records
+    of 100 bytes) costs milliseconds, like the ~12 MIPS SparcStation-1
+    setting of Figure 4. *)
+
+val cost :
+  params -> Physical.alg -> inputs:Logical_props.t list -> output:Logical_props.t -> Cost.t
+(** Local cost of running the algorithm once, excluding its inputs'
+    costs (the search engine sums those per Figure 2). *)
+
+val plan_cost :
+  params ->
+  props_of:(Physical.plan -> Logical_props.t) ->
+  Physical.plan ->
+  Cost.t
+(** Bottom-up total cost of a complete plan, for validation against the
+    search engine's incremental accounting. [props_of] supplies the
+    logical properties of each subplan's output. *)

@@ -1,0 +1,173 @@
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type arith =
+  | Add
+  | Sub
+  | Mul
+  | Div
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arith of arith * t * t
+
+let col c = Col c
+let int i = Const (Value.Int i)
+let str s = Const (Value.Str s)
+let bool b = Const (Value.Bool b)
+let float f = Const (Value.Float f)
+
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+
+let true_ = Const (Value.Bool true)
+
+let columns expr =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Col c ->
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        out := c :: !out
+      end
+    | Const _ -> ()
+    | Not e -> go e
+    | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) ->
+      go a;
+      go b
+  in
+  go expr;
+  List.rev !out
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+let conjoin conjs =
+  (* Canonical conjunct order, so predicates assembled along different
+     rewrite paths compare equal — the memo deduplicates expressions by
+     structural equality of their operators. *)
+  match List.sort_uniq compare conjs with
+  | [] -> true_
+  | e :: rest -> List.fold_left (fun acc c -> And (acc, c)) e rest
+
+let refers_only_to schema expr =
+  List.for_all (fun c -> Schema.mem schema c) (columns expr)
+
+let equijoin_keys expr ~left ~right =
+  let keys conj =
+    match conj with
+    | Cmp (Eq, Col a, Col b) ->
+      let in_left c = Schema.mem left c and in_right c = Schema.mem right c in
+      if in_left a && in_right b && not (in_right a) && not (in_left b) then
+        Some (Schema.resolve left a, Schema.resolve right b)
+      else if in_left b && in_right a && not (in_right b) && not (in_left a) then
+        Some (Schema.resolve left b, Schema.resolve right a)
+      else None
+    | _ -> None
+  in
+  List.filter_map keys (conjuncts expr)
+
+let eval_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let compile schema expr =
+  (* Resolve all columns up-front so evaluation is a pure array walk. *)
+  let rec build = function
+    | Col c ->
+      let i = Schema.index_of schema c in
+      fun (t : Tuple.t) -> t.(i)
+    | Const v -> fun _ -> v
+    | Cmp (op, a, b) ->
+      let fa = build a and fb = build b in
+      fun t ->
+        let va = fa t and vb = fb t in
+        if Value.is_null va || Value.is_null vb then Value.Null
+        else Value.Bool (eval_cmp op va vb)
+    | And (a, b) ->
+      let fa = build a and fb = build b in
+      fun t ->
+        (match fa t with
+         | Value.Bool false -> Value.Bool false
+         | Value.Bool true -> fb t
+         | _ -> (match fb t with Value.Bool false -> Value.Bool false | _ -> Value.Null))
+    | Or (a, b) ->
+      let fa = build a and fb = build b in
+      fun t ->
+        (match fa t with
+         | Value.Bool true -> Value.Bool true
+         | Value.Bool false -> fb t
+         | _ -> (match fb t with Value.Bool true -> Value.Bool true | _ -> Value.Null))
+    | Not e ->
+      let f = build e in
+      fun t -> (match f t with Value.Bool b -> Value.Bool (not b) | _ -> Value.Null)
+    | Arith (op, a, b) ->
+      let fa = build a and fb = build b in
+      let f =
+        match op with
+        | Add -> Value.add
+        | Sub -> Value.sub
+        | Mul -> Value.mul
+        | Div -> Value.div
+      in
+      fun t -> f (fa t) (fb t)
+  in
+  build expr
+
+let eval_pred schema expr =
+  let f = compile schema expr in
+  fun t -> match f t with Value.Bool b -> b | _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let hash (e : t) = Hashtbl.hash e
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Const v -> Value.pp ppf v
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_atom a (cmp_symbol op) pp_atom b
+  | And (a, b) -> Format.fprintf ppf "%a AND %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not e -> Format.fprintf ppf "NOT %a" pp_atom e
+  | Arith (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_atom a (arith_symbol op) pp_atom b
+
+and pp_atom ppf e =
+  match e with
+  | Col _ | Const _ -> pp ppf e
+  | Cmp _ | And _ | Or _ | Not _ | Arith _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e

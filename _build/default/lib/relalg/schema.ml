@@ -1,0 +1,74 @@
+type datatype =
+  | TBool
+  | TInt
+  | TFloat
+  | TStr
+
+type attribute = {
+  name : string;
+  ty : datatype;
+  width : int;
+}
+
+type t = attribute array
+
+let default_width = function
+  | TBool -> 8
+  | TInt -> 8
+  | TFloat -> 8
+  | TStr -> 24
+
+let attribute ?width name ty =
+  let width = match width with Some w -> w | None -> default_width ty in
+  { name; ty; width }
+
+let qualify table column = table ^ "." ^ column
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let index_of schema name =
+  let n = Array.length schema in
+  let rec exact i =
+    if i >= n then unqualified 0 (-1)
+    else if String.equal schema.(i).name name then i
+    else exact (i + 1)
+  and unqualified i found =
+    if i >= n then (if found >= 0 then found else raise Not_found)
+    else if String.equal (base_name schema.(i).name) name then
+      if found >= 0 then raise Not_found (* ambiguous *) else unqualified (i + 1) i
+    else unqualified (i + 1) found
+  in
+  exact 0
+
+let mem schema name = match index_of schema name with _ -> true | exception Not_found -> false
+
+let find schema name = schema.(index_of schema name)
+
+let resolve schema name = (find schema name).name
+
+let concat a b = Array.append a b
+
+let project schema columns =
+  Array.of_list (List.map (find schema) columns)
+
+let names schema = Array.to_list (Array.map (fun a -> a.name) schema)
+
+let row_width schema = Array.fold_left (fun acc a -> acc + a.width) 0 schema
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.ty = y.ty) a b
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with TBool -> "bool" | TInt -> "int" | TFloat -> "float" | TStr -> "str")
+
+let pp ppf schema =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" a.name pp_ty a.ty))
+    (Array.to_list schema)

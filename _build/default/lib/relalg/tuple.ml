@@ -1,0 +1,31 @@
+type t = Value.t array
+
+let get t i = t.(i)
+
+let concat = Array.append
+
+let project schema columns t =
+  let indexes = List.map (Schema.index_of schema) columns in
+  Array.of_list (List.map (fun i -> t.(i)) indexes)
+
+let compare_by schema keys a b =
+  let rec go = function
+    | [] -> 0
+    | (col, dir) :: rest ->
+      let i = Schema.index_of schema col in
+      let c = Value.compare a.(i) b.(i) in
+      let c = match dir with `Asc -> c | `Desc -> -c in
+      if c <> 0 then c else go rest
+  in
+  go keys
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Value.pp)
+    (Array.to_list t)

@@ -1,0 +1,40 @@
+(** Runtime values stored in tuples and used by the expression evaluator.
+
+    The value domain is deliberately small (the paper's experiments use
+    100-byte records of scalar fields) but total: every operation is
+    defined on every constructor, with [Null] ordered below all other
+    values and absorbing arithmetic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+val compare : t -> t -> int
+(** Total order: [Null] < [Bool] < [Int]/[Float] (numerically mixed) < [Str]. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val is_null : t -> bool
+
+val add : t -> t -> t
+(** Numeric addition; [Null] absorbs; non-numeric operands raise
+    [Invalid_argument]. *)
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division by zero yields [Null] (SQL-style). *)
+
+val to_float : t -> float option
+(** Numeric view of a value, if it has one. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/relmodel/derive.ml: Array Catalog Float List Logical Logical_props Relalg Schema

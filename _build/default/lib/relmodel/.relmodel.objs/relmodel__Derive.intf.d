@@ -1,0 +1,1 @@
+lib/relmodel/derive.mli: Catalog Relalg

@@ -1,0 +1,1 @@
+lib/relmodel/optimizer.ml: Catalog Derive Format List Option Rel_model Relalg String Volcano

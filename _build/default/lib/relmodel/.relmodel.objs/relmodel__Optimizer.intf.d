@@ -1,0 +1,1 @@
+lib/relmodel/optimizer.mli: Catalog Format Rel_model Relalg Volcano

@@ -1,0 +1,1 @@
+lib/relmodel/plan_cost.ml: Catalog Cost Cost_model Derive List Logical Logical_props Physical Relalg

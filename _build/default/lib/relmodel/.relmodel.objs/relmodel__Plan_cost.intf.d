@@ -1,0 +1,1 @@
+lib/relmodel/plan_cost.mli: Catalog Relalg

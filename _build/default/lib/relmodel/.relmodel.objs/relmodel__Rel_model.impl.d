@@ -1,0 +1,1 @@
+lib/relmodel/rel_model.ml: Array Catalog Cost Cost_model Derive Expr Float List Logical Logical_props Phys_prop Physical Relalg Rewrites Schema Sort_order String Volcano

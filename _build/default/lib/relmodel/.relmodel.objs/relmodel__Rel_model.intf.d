@@ -1,0 +1,1 @@
+lib/relmodel/rel_model.mli: Catalog Relalg Volcano

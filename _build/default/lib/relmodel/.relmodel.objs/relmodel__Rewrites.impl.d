@@ -1,0 +1,1 @@
+lib/relmodel/rewrites.ml: Expr List Relalg Schema

@@ -1,0 +1,1 @@
+lib/relmodel/rewrites.mli: Relalg

@@ -1,0 +1,72 @@
+open Relalg
+
+let agg_type (input : Schema.t) (a : Logical.agg) =
+  match a.func, a.column with
+  | Logical.Count, _ -> Schema.TInt
+  | Logical.Avg, _ -> Schema.TFloat
+  | (Logical.Sum | Logical.Min | Logical.Max), Some col -> (Schema.find input col).ty
+  | (Logical.Sum | Logical.Min | Logical.Max), None ->
+    invalid_arg "Derive: aggregate other than count requires a column"
+
+let op registry (o : Logical.op) (inputs : Logical_props.t list) : Logical_props.t =
+  let in1 () = match inputs with [ i ] -> i | _ -> invalid_arg "Derive.op: unary arity" in
+  let in2 () =
+    match inputs with [ l; r ] -> (l, r) | _ -> invalid_arg "Derive.op: binary arity"
+  in
+  match o with
+  | Logical.Get name -> Catalog.base_props (Catalog.find registry name)
+  | Logical.Select pred ->
+    let i = in1 () in
+    let sel = Catalog.Selectivity.predicate i pred in
+    Logical_props.make ~schema:i.schema ~card:(i.card *. sel) ~distincts:i.distincts
+      ~ranges:i.ranges ~relations:i.relations ()
+  | Logical.Project cols ->
+    let i = in1 () in
+    let schema = Schema.project i.schema cols in
+    let keep assoc = List.filter (fun (c, _) -> Schema.mem schema c) assoc in
+    Logical_props.make ~schema ~card:i.card ~distincts:(keep i.distincts)
+      ~ranges:(keep i.ranges) ~relations:i.relations ()
+  | Logical.Join pred ->
+    let l, r = in2 () in
+    let sel = Catalog.Selectivity.join ~left:l ~right:r pred in
+    Logical_props.make
+      ~schema:(Schema.concat l.schema r.schema)
+      ~card:(l.card *. r.card *. sel)
+      ~distincts:(l.distincts @ r.distincts)
+      ~ranges:(l.ranges @ r.ranges)
+      ~relations:(l.relations @ r.relations)
+      ()
+  | Logical.Union ->
+    let l, r = in2 () in
+    Logical_props.make ~schema:l.schema ~card:(l.card +. r.card) ~distincts:l.distincts
+      ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+  | Logical.Intersect ->
+    let l, r = in2 () in
+    Logical_props.make ~schema:l.schema
+      ~card:(Float.min l.card r.card /. 2.)
+      ~distincts:l.distincts ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+  | Logical.Difference ->
+    let l, r = in2 () in
+    Logical_props.make ~schema:l.schema ~card:(l.card /. 2.) ~distincts:l.distincts
+      ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+  | Logical.Group_by (keys, aggs) ->
+    let i = in1 () in
+    let key_schema = Schema.project i.schema keys in
+    let agg_schema =
+      Array.of_list
+        (List.map (fun a -> Schema.attribute (Logical.agg_result_name a) (agg_type i.schema a)) aggs)
+    in
+    let schema = Schema.concat key_schema agg_schema in
+    let groups =
+      List.fold_left (fun acc k -> acc *. Logical_props.distinct_of i k) 1. keys
+    in
+    let card = Float.max 1. (Float.min i.card groups) in
+    let distincts =
+      List.filter_map
+        (fun (c, d) -> if Schema.mem key_schema c then Some (c, Float.min d card) else None)
+        i.distincts
+    in
+    Logical_props.make ~schema ~card ~distincts ~relations:i.relations ()
+
+let rec expr registry (e : Logical.expr) =
+  op registry e.op (List.map (expr registry) e.inputs)

@@ -1,0 +1,14 @@
+(** The property functions for logical operators (paper §2.2, item 10):
+    derive the logical properties — schema, cardinality, distinct
+    counts — of an operator's output from its inputs'. Selectivity
+    estimation is encapsulated here via {!Catalog.Selectivity}. *)
+
+val op :
+  Catalog.t ->
+  Relalg.Logical.op ->
+  Relalg.Logical_props.t list ->
+  Relalg.Logical_props.t
+(** @raise Not_found when a [Get] names an unknown relation. *)
+
+val expr : Catalog.t -> Relalg.Logical.expr -> Relalg.Logical_props.t
+(** Bottom-up derivation over a whole logical expression tree. *)

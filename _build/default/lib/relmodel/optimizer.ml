@@ -1,0 +1,128 @@
+type plan_node = {
+  alg : Relalg.Physical.alg;
+  children : plan_node list;
+  props : Relalg.Phys_prop.t;
+  cost : Relalg.Cost.t;
+}
+
+type result = {
+  plan : plan_node option;
+  stats : Volcano.Search_stats.t;
+  memo_groups : int;
+  memo_mexprs : int;
+}
+
+type request = {
+  catalog : Catalog.t;
+  params : Relalg.Cost_model.params;
+  flags : Rel_model.flags;
+  pruning : bool;
+  max_moves : int option;
+  limit : Relalg.Cost.t option;
+  restore_columns : bool;
+}
+
+let request catalog =
+  {
+    catalog;
+    params = Relalg.Cost_model.default;
+    flags = Rel_model.default_flags;
+    pruning = true;
+    max_moves = None;
+    limit = None;
+    restore_columns = true;
+  }
+
+let rec to_physical_raw (p : plan_node) : Relalg.Physical.plan =
+  Relalg.Physical.mk p.alg (List.map to_physical_raw p.children)
+
+let optimize req (query : Relalg.Logical.expr) ~required : result =
+  let (module M : Rel_model.REL_MODEL) =
+    Rel_model.make ~catalog:req.catalog ~params:req.params ~flags:req.flags ()
+  in
+  let module S = Volcano.Search.Make (M) in
+  let config =
+    { S.default_config with pruning = req.pruning; max_moves = req.max_moves }
+  in
+  let opt = S.create ~config () in
+  let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
+  let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
+  let rec convert (p : S.plan_tree) : plan_node =
+    { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
+  in
+  (* Join commutativity can leave the winning plan's columns in a
+     different order than the query's logical schema; restore the
+     logical order with a (free at this scale) final projection. *)
+  let restore_column_order (p : plan_node) : plan_node =
+    let logical_names = Relalg.Schema.names (Derive.expr req.catalog query).schema in
+    let physical_names =
+      Relalg.Schema.names (Catalog.plan_schema req.catalog (to_physical_raw p))
+    in
+    if List.equal String.equal logical_names physical_names then p
+    else
+      {
+        alg = Relalg.Physical.Project_cols logical_names;
+        children = [ p ];
+        props = p.props;
+        cost = p.cost;
+      }
+  in
+  let finish p =
+    if req.restore_columns then restore_column_order (convert p) else convert p
+  in
+  {
+    plan = Option.map finish outcome.plan;
+    stats = outcome.search_stats;
+    memo_groups = outcome.memo_groups;
+    memo_mexprs = outcome.memo_mexprs;
+  }
+
+let to_physical = to_physical_raw
+
+let plan_cost (p : plan_node) = p.cost
+
+let pp_plan ppf p =
+  let rec go depth node =
+    Format.fprintf ppf "%s%s  [%s; cost %s]" (String.make depth ' ')
+      (Relalg.Physical.alg_name node.alg)
+      (Relalg.Phys_prop.to_string node.props)
+      (Relalg.Cost.to_string node.cost);
+    List.iter
+      (fun c ->
+        Format.pp_print_newline ppf ();
+        go (depth + 2) c)
+      node.children
+  in
+  go 0 p
+
+let explain p = Format.asprintf "%a" pp_plan p
+
+type session = {
+  run : Relalg.Logical.expr -> Relalg.Phys_prop.t -> result;
+}
+
+let session req =
+  let (module M : Rel_model.REL_MODEL) =
+    Rel_model.make ~catalog:req.catalog ~params:req.params ~flags:req.flags ()
+  in
+  let module S = Volcano.Search.Make (M) in
+  let config =
+    { S.default_config with pruning = req.pruning; max_moves = req.max_moves }
+  in
+  let opt = S.create ~config () in
+  let run query required =
+    let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
+    let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
+    let rec convert (p : S.plan_tree) : plan_node =
+      { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
+    in
+    {
+      plan = Option.map convert outcome.plan;
+      stats = outcome.search_stats;
+      memo_groups = outcome.memo_groups;
+      memo_mexprs = outcome.memo_mexprs;
+    }
+  in
+  { run }
+
+let optimize_in s query ~required = s.run query required

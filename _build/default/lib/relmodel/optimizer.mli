@@ -1,0 +1,68 @@
+(** The generated relational optimizer, packaged behind a concrete API:
+    build the model from a catalog, apply the generator (the
+    {!Volcano.Search.Make} functor), optimize one query, and return the
+    winning plan with its cost and search statistics. A fresh memo is
+    used per query, as in the paper. *)
+
+(** A plan annotated with the optimizer's per-node promises. *)
+type plan_node = {
+  alg : Relalg.Physical.alg;
+  children : plan_node list;
+  props : Relalg.Phys_prop.t;  (** physical properties the node delivers *)
+  cost : Relalg.Cost.t;  (** total cost of the subtree *)
+}
+
+type result = {
+  plan : plan_node option;  (** [None]: no plan within the cost limit *)
+  stats : Volcano.Search_stats.t;
+  memo_groups : int;
+  memo_mexprs : int;
+}
+
+type request = {
+  catalog : Catalog.t;
+  params : Relalg.Cost_model.params;
+  flags : Rel_model.flags;
+  pruning : bool;
+  max_moves : int option;
+  limit : Relalg.Cost.t option;  (** cost limit (Figure 2's Limit); [None] = infinity *)
+  restore_columns : bool;
+      (** append a projection restoring the logical column order when
+          join commutativity reordered the output (default [true]; plan
+          benchmarks turn it off so both comparands are judged on the
+          bare plan) *)
+}
+
+val request : Catalog.t -> request
+(** Default request: full paper configuration, pruning on, exhaustive
+    moves, no cost limit. *)
+
+val optimize :
+  request -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> result
+
+val to_physical : plan_node -> Relalg.Physical.plan
+(** Strip annotations for execution. *)
+
+val plan_cost : plan_node -> Relalg.Cost.t
+
+val pp_plan : Format.formatter -> plan_node -> unit
+
+val explain : plan_node -> string
+(** Multi-line EXPLAIN rendering with properties and costs. *)
+
+(** {1 Optimizer sessions: longer-lived partial results}
+
+    The paper reinitializes the memo per query but flags "research into
+    longer-lived partial results" (§3). A session keeps one memo across
+    queries on the same catalog: equivalence classes, winners, and
+    failures for shared subexpressions are reused, so similar queries
+    optimize faster. *)
+
+type session
+
+val session : request -> session
+
+val optimize_in :
+  session -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> result
+(** Like {!optimize} but accumulating in the session's memo. Statistics
+    are cumulative across the session. *)

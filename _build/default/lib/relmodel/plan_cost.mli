@@ -1,0 +1,18 @@
+(** Neutral re-costing of finished physical plans. Both optimizers carry
+    their own running cost estimates, which can differ slightly for the
+    same plan because logical properties are frozen per equivalence
+    class at first derivation. For the Figure 4 plan-quality comparison
+    the produced plans are re-estimated here, bottom-up over the plan
+    itself, so Volcano and EXODUS plans are judged by one estimator. *)
+
+val props :
+  Catalog.t -> Relalg.Physical.plan -> Relalg.Logical_props.t
+(** Logical properties of a plan node's output, derived bottom-up. *)
+
+val estimate :
+  Catalog.t ->
+  ?params:Relalg.Cost_model.params ->
+  Relalg.Physical.plan ->
+  Relalg.Cost.t
+(** Total estimated cost of the plan: sum of each operator's local cost
+    under the shared cost model. *)

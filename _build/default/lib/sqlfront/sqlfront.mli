@@ -1,0 +1,31 @@
+(** A small SQL front end: the "parser" step the paper presumes exists
+    in front of a generated optimizer ("the translation from a user
+    interface into a logical algebra expression must be performed by the
+    parser", §2.2).
+
+    Supported grammar (one level of set operations between two select
+    blocks):
+
+    {v
+    query    ::= select [ (UNION | INTERSECT | EXCEPT) select ]
+    select   ::= SELECT [DISTINCT] items FROM name {, name}
+                 [WHERE pred] [GROUP BY cols] [ORDER BY col [DESC] {, ...}]
+    items    ::= * | item {, item}
+    item     ::= column | agg '(' column-or-star ')' [AS ident]
+    pred     ::= disjunctions/conjunctions/NOT over comparisons
+                 of columns, integers, floats and 'strings'
+    v} *)
+
+exception Parse_error of string
+(** Raised with a message pointing at the offending token. *)
+
+type statement = {
+  logical : Relalg.Logical.expr;
+  required : Relalg.Phys_prop.t;
+      (** physical requirements from ORDER BY / DISTINCT *)
+}
+
+val parse : Catalog.t -> string -> statement
+(** Parse and translate one SQL statement against a catalog (used to
+    resolve unqualified column names and validate table names).
+    @raise Parse_error on any syntactic or naming problem. *)

@@ -1,0 +1,1 @@
+lib/volcano/memo.ml: Array Hashtbl List Search_stats Signatures Tree

@@ -1,0 +1,1 @@
+lib/volcano/search.ml: Format List Memo Printf Rule Search_stats Signatures String Tree

@@ -1,0 +1,1 @@
+lib/volcano/search_stats.mli: Format

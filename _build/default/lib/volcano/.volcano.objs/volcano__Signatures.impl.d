@@ -1,0 +1,1 @@
+lib/volcano/signatures.ml: Rule

@@ -1,0 +1,288 @@
+(** The memo: "a hash table of expressions and equivalence classes"
+    (paper §3). An equivalence class (group) represents two
+    collections — equivalent logical multi-expressions, whose inputs
+    are themselves groups, and physical plans indexed by the property
+    vectors for which the class has been optimized (the winner table,
+    which also records failures). Duplicate derivations of the same
+    expression are detected through the expression index; when the same
+    expression is derived in two classes, the classes are merged
+    (union-find), and only the expressions referencing the dead class
+    are re-indexed (each group tracks its parent expressions). *)
+
+module Make (M : Signatures.MODEL) = struct
+  type group = int
+
+  type mexpr = {
+    op : M.op;
+    op_h : int;  (** cached [M.op_hash op]: operators can be large *)
+    mutable inputs : group list;
+        (** kept canonical: re-pointed whenever an input group merges *)
+    mutable owner : group;  (** canonicalize with [find_root] before use *)
+    mutable applied : int;  (** bitmask of transformation rules already fired *)
+    mutable dead : bool;  (** folded into an identical expression after a merge *)
+  }
+
+  (** A physical plan node. Children are referenced by optimization
+      goal so the full tree can be re-extracted from winner tables. *)
+  type plan = {
+    p_alg : M.alg;
+    p_inputs : (group * M.phys_props * M.phys_props option) list;
+        (** (group, required, excluding vector) per input *)
+    p_props : M.phys_props;  (** properties the plan promises to deliver *)
+    p_cost : M.cost;  (** total cost including inputs *)
+  }
+
+  type winner = {
+    mutable w_plan : plan option;  (** [None] = failure *)
+    mutable w_bound : M.cost;  (** cost limit the optimization ran under *)
+  }
+
+  module Goal_key = struct
+    type t = M.phys_props * M.phys_props option
+
+    let equal (r1, e1) (r2, e2) =
+      M.pp_equal r1 r2
+      &&
+      match e1, e2 with
+      | None, None -> true
+      | Some a, Some b -> M.pp_equal a b
+      | None, Some _ | Some _, None -> false
+
+    let hash (r, e) =
+      M.pp_hash r + (31 * match e with None -> 0 | Some p -> 1 + M.pp_hash p)
+  end
+
+  module Goal_tbl = Hashtbl.Make (Goal_key)
+
+  type group_data = {
+    gid : int;
+    mutable parent : int;  (** union-find; self when root *)
+    mutable mexprs : mexpr list;  (** meaningful on roots only *)
+    mutable parents : mexpr list;
+        (** expressions (anywhere in the memo) using this group as input *)
+    mutable lprops : M.logical_props option;
+    winners : winner Goal_tbl.t;
+    in_progress : unit Goal_tbl.t;
+    mutable explored : bool;
+    mutable exploring : bool;
+  }
+
+  module Expr_key = struct
+    type t = int * M.op * group list  (* cached op hash, operator, inputs *)
+
+    let equal ((h1, o1, is1) : t) ((h2, o2, is2) : t) =
+      h1 = h2
+      && List.length is1 = List.length is2
+      && List.for_all2 ( = ) is1 is2
+      && M.op_equal o1 o2
+
+    let hash ((h, _, is) : t) = List.fold_left (fun acc g -> (acc * 31) + g) h is
+  end
+
+  module Expr_tbl = Hashtbl.Make (Expr_key)
+
+  type t = {
+    mutable groups : group_data array;
+    mutable n_groups : int;
+    index : mexpr Expr_tbl.t;
+    stats : Search_stats.t;
+  }
+
+  let create stats =
+    { groups = [||]; n_groups = 0; index = Expr_tbl.create 256; stats }
+
+  let data t g =
+    assert (g >= 0 && g < t.n_groups);
+    t.groups.(g)
+
+  let rec find_root t g =
+    let d = data t g in
+    if d.parent = g then g
+    else begin
+      let root = find_root t d.parent in
+      d.parent <- root;
+      root
+    end
+
+  let new_group t =
+    let gid = t.n_groups in
+    let d =
+      {
+        gid;
+        parent = gid;
+        mexprs = [];
+        parents = [];
+        lprops = None;
+        winners = Goal_tbl.create 4;
+        in_progress = Goal_tbl.create 4;
+        explored = false;
+        exploring = false;
+      }
+    in
+    if t.n_groups = Array.length t.groups then begin
+      let bigger = Array.make (max 64 (2 * Array.length t.groups)) d in
+      Array.blit t.groups 0 bigger 0 t.n_groups;
+      t.groups <- bigger
+    end;
+    t.groups.(t.n_groups) <- d;
+    t.n_groups <- t.n_groups + 1;
+    t.stats.Search_stats.groups_created <- t.stats.Search_stats.groups_created + 1;
+    gid
+
+  let canonical_inputs t inputs = List.map (find_root t) inputs
+
+  let key_of_mexpr (m : mexpr) : Expr_key.t = (m.op_h, m.op, m.inputs)
+
+  let lprops t g =
+    let d = data t (find_root t g) in
+    match d.lprops with
+    | Some p -> p
+    | None -> invalid_arg "Memo.lprops: group has no logical properties yet"
+
+  let mexprs t g = List.filter (fun m -> not m.dead) (data t (find_root t g)).mexprs
+
+  let register_parents t m =
+    List.iter
+      (fun ig ->
+        let d = data t ig in
+        d.parents <- m :: d.parents)
+      m.inputs
+
+  (* Merge group [b] into group [a] (both roots): the same expression
+     was derived in two classes, proving them equivalent. Only the
+     expressions referencing [b] need re-indexing; folding may reveal
+     further equivalences, which are merged recursively. *)
+  let rec merge t a b =
+    let a = find_root t a and b = find_root t b in
+    if a = b then a
+    else begin
+      t.stats.Search_stats.merges <- t.stats.Search_stats.merges + 1;
+      let da = data t a and db = data t b in
+      db.parent <- a;
+      da.explored <- da.explored && db.explored;
+      (* Combine winner tables, keeping the better entry per goal. *)
+      Goal_tbl.iter
+        (fun key w ->
+          match Goal_tbl.find_opt da.winners key with
+          | None -> Goal_tbl.replace da.winners key w
+          | Some existing ->
+            let better =
+              match existing.w_plan, w.w_plan with
+              | Some p1, Some p2 -> M.cost_compare p1.p_cost p2.p_cost <= 0
+              | Some _, None -> true
+              | None, Some _ -> false
+              | None, None -> M.cost_compare existing.w_bound w.w_bound >= 0
+            in
+            if not better then Goal_tbl.replace da.winners key w)
+        db.winners;
+      (* Move b's expressions and parent links into a. Cross-group
+         same-key duplicates cannot exist (insert would have merged
+         instead), so b's own expressions keep their index entries. *)
+      List.iter (fun m -> if not m.dead then m.owner <- a) db.mexprs;
+      da.mexprs <- da.mexprs @ db.mexprs;
+      db.mexprs <- [];
+      let b_parents = db.parents in
+      da.parents <- da.parents @ b_parents;
+      db.parents <- [];
+      (* Re-index every live expression that referenced b. *)
+      let pending = ref [] in
+      List.iter
+        (fun m ->
+          if not m.dead then begin
+            Expr_tbl.remove t.index (key_of_mexpr m);
+            m.inputs <- canonical_inputs t m.inputs;
+            let key = key_of_mexpr m in
+            match Expr_tbl.find_opt t.index key with
+            | None -> Expr_tbl.replace t.index key m
+            | Some existing ->
+              (* [m] now spells the same expression as [existing]. *)
+              existing.applied <- existing.applied lor m.applied;
+              m.dead <- true;
+              let go = find_root t m.owner and ge = find_root t existing.owner in
+              if go <> ge then pending := (go, ge) :: !pending
+          end)
+        b_parents;
+      List.iter (fun (x, y) -> ignore (merge t x y)) !pending;
+      find_root t a
+    end
+
+  (** Insert expression [op inputs]. If it already exists, returns its
+      group (merging with [target] if they differ — duplicate-derivation
+      detection). Otherwise adds a new mexpr to [target] or to a fresh
+      group. Returns the root group holding the expression. *)
+  let insert t ?target op inputs =
+    let inputs = canonical_inputs t inputs in
+    let key : Expr_key.t = (M.op_hash op, op, inputs) in
+    match Expr_tbl.find_opt t.index key with
+    | Some m -> begin
+      let g = find_root t m.owner in
+      match target with
+      | None -> g
+      | Some tgt ->
+        let tgt = find_root t tgt in
+        if tgt = g then g else merge t g tgt
+    end
+    | None ->
+      let g = match target with Some tgt -> find_root t tgt | None -> new_group t in
+      let h, _, _ = key in
+      let m = { op; op_h = h; inputs; owner = g; applied = 0; dead = false } in
+      let d = data t g in
+      d.mexprs <- m :: d.mexprs;
+      d.explored <- false;
+      Expr_tbl.replace t.index key m;
+      register_parents t m;
+      t.stats.Search_stats.mexprs_created <- t.stats.Search_stats.mexprs_created + 1;
+      (if d.lprops = None then
+         let input_props = List.map (lprops t) inputs in
+         d.lprops <- Some (M.derive op input_props));
+      g
+
+  let winner t g key = Goal_tbl.find_opt (data t (find_root t g)).winners key
+
+  let set_winner t g key plan bound =
+    let d = data t (find_root t g) in
+    Goal_tbl.replace d.winners key { w_plan = plan; w_bound = bound }
+
+  let in_progress t g key = Goal_tbl.mem (data t (find_root t g)).in_progress key
+
+  let mark_in_progress t g key = Goal_tbl.replace (data t (find_root t g)).in_progress key ()
+
+  let unmark_in_progress t g key = Goal_tbl.remove (data t (find_root t g)).in_progress key
+
+  let is_explored t g = (data t (find_root t g)).explored
+
+  let set_explored t g v = (data t (find_root t g)).explored <- v
+
+  let is_exploring t g = (data t (find_root t g)).exploring
+
+  let set_exploring t g v = (data t (find_root t g)).exploring <- v
+
+  let n_groups t =
+    let n = ref 0 in
+    for g = 0 to t.n_groups - 1 do
+      if t.groups.(g).parent = g then incr n
+    done;
+    !n
+
+  let n_mexprs t =
+    let n = ref 0 in
+    for g = 0 to t.n_groups - 1 do
+      if t.groups.(g).parent = g then
+        n := !n + List.length (List.filter (fun m -> not m.dead) t.groups.(g).mexprs)
+    done;
+    !n
+
+  let roots t =
+    let out = ref [] in
+    for g = t.n_groups - 1 downto 0 do
+      if t.groups.(g).parent = g then out := g :: !out
+    done;
+    !out
+
+  (** One arbitrary logical expression tree from a group, for display
+      and debugging. *)
+  let rec extract_any t g : M.op Tree.t =
+    match mexprs t g with
+    | [] -> invalid_arg "Memo.extract_any: empty group"
+    | m :: _ -> Tree.node m.op (List.map (extract_any t) m.inputs)
+end

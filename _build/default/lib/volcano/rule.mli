@@ -1,0 +1,66 @@
+(** Rules: the paper's two rule kinds, with patterns matched against the
+    memo and condition code folded into the apply functions.
+
+    A {!pattern} describes the operator shape a rule fires on. The
+    search engine enumerates {!binding}s — operator trees whose leaves
+    are references to memo equivalence classes — matching a pattern,
+    then hands each binding to the rule.
+
+    - A {e transformation rule} (algebraic equivalence, §2.2) maps a
+      binding to zero or more equivalent logical bindings. Returning
+      [[]] is how condition code rejects a match.
+    - An {e implementation rule} maps a binding (plus the required
+      physical property vector) to algorithm choices. Each choice names
+      the algorithm, the memo groups serving as its inputs, and one or
+      more {e alternative} input property-vector combinations to try —
+      the paper's merge-intersection example (§3). The apply function
+      plays the role of the paper's applicability function. *)
+
+type 'op pattern =
+  | Any  (** matches any equivalence class (binds a group) *)
+  | Op of ('op -> bool) * 'op pattern list
+      (** matches an operator satisfying the predicate, with sub-patterns
+          for each input *)
+
+type group = int
+(** Memo equivalence-class identifier. *)
+
+type 'op binding =
+  | Group of group
+  | Node of 'op * 'op binding list
+
+type ('op, 'lp) transform = {
+  t_name : string;
+  t_promise : int;  (** higher fires earlier (§3: "order the set of moves by promise") *)
+  t_pattern : 'op pattern;
+  t_apply : lookup:(group -> 'lp) -> 'op binding -> 'op binding list;
+      (** [lookup] exposes logical properties of bound groups to
+          condition code (e.g. schema checks for many-sorted algebras). *)
+}
+
+type ('op, 'alg, 'lp, 'pp) impl_choice = {
+  c_alg : 'alg;
+  c_inputs : group list;
+  c_alternatives : 'pp list list;
+      (** each element is one full input-requirement vector: one
+          property requirement per input, in input order *)
+}
+
+type ('op, 'alg, 'lp, 'pp) implement = {
+  i_name : string;
+  i_promise : int;
+  i_pattern : 'op pattern;
+  i_apply :
+    lookup:(group -> 'lp) ->
+    required:'pp ->
+    'op binding ->
+    ('op, 'alg, 'lp, 'pp) impl_choice list;
+}
+
+val leaf_groups : 'op binding -> group list
+(** Groups bound by [Any] leaves, left to right. *)
+
+val binding_op : 'op binding -> 'op option
+(** Root operator, when the binding is a [Node]. *)
+
+val pattern_depth : 'op pattern -> int

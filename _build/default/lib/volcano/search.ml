@@ -1,0 +1,436 @@
+(** The search engine shared by all generated optimizers (paper §3):
+    directed dynamic programming. FindBestPlan (Figure 2) is
+    [find_best] below. One deliberate restructuring: where Figure 2
+    lists transformations among the moves of a goal, we first close the
+    goal's equivalence class under the transformation rules
+    ([explore_group]) and then enumerate algorithm and enforcer moves
+    over all multi-expressions in the class. For exhaustive search the
+    two orders visit exactly the same plans; the closure form is how
+    this search was later productized (Cascades). The paper's
+    in-progress marking, excluding property vectors, failure caching,
+    promise ordering and limit-based pruning are all implemented as
+    described. *)
+
+module Make (M : Signatures.MODEL) = struct
+  module Memo = Memo.Make (M)
+
+  type config = {
+    pruning : bool;  (** branch-and-bound via cost limits (Figure 2) *)
+    max_moves : int option;
+        (** pursue only the k most promising moves per goal — the
+            paper's heuristic-guidance hook ("In the future, a subset of
+            the moves will be selected"); [None] = exhaustive *)
+    task_limit : int;  (** safety valve on the number of goals optimized *)
+  }
+
+  let default_config = { pruning = true; max_moves = None; task_limit = max_int }
+
+  type t = {
+    memo : Memo.t;
+    config : config;
+    stats : Search_stats.t;
+  }
+
+  (** A fully extracted plan: the optimizer's output. *)
+  type plan_tree = {
+    alg : M.alg;
+    children : plan_tree list;
+    props : M.phys_props;
+    cost : M.cost;  (** total cost of this subtree *)
+  }
+
+  exception Search_limit_exceeded
+
+  let create ?(config = default_config) () =
+    let stats = Search_stats.create () in
+    { memo = Memo.create stats; config; stats }
+
+  let stats t = t.stats
+
+  let memo t = t.memo
+
+  (* Capture a query tree in the memo bottom-up. *)
+  let rec insert_query t (tree : M.op Tree.t) : Memo.group =
+    let inputs = List.map (insert_query t) (Tree.inputs tree) in
+    Memo.insert t.memo (Tree.op tree) inputs
+
+  let lookup t g = Memo.lprops t.memo g
+
+  (* ------------------------------------------------------------------ *)
+  (* Exploration: close a group under the transformation rules.         *)
+  (* ------------------------------------------------------------------ *)
+
+  let rule_index = List.mapi (fun i r -> (i, r)) M.transforms
+
+  let cartesian lists =
+    List.fold_right
+      (fun options acc ->
+        List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
+      lists [ [] ]
+
+  (* All bindings of [pattern] rooted at multi-expression [m]. Matching
+     below the root enumerates the input groups' expressions, exploring
+     them first so the enumeration is complete (goal-directed: only
+     groups a pattern actually descends into get explored). *)
+  let rec bindings_below t pattern g : M.op Rule.binding list =
+    match pattern with
+    | Rule.Any -> [ Rule.Group g ]
+    | Rule.Op (_, _) ->
+      explore_group t g;
+      List.concat_map (fun m -> bindings_at t pattern m) (Memo.mexprs t.memo g)
+
+  and bindings_at t pattern (m : Memo.mexpr) : M.op Rule.binding list =
+    match pattern with
+    | Rule.Any -> assert false (* callers match roots against Op patterns *)
+    | Rule.Op (matches, subs) ->
+      if (not (matches m.op)) || List.length subs <> List.length m.inputs then []
+      else
+        cartesian (List.map2 (fun p g -> bindings_below t p g) subs m.inputs)
+        |> List.map (fun inputs -> Rule.Node (m.op, inputs))
+
+  (* Insert the expression a rule produced. Nested nodes become (new or
+     existing) classes of their own — Figure 3: expression C "requires a
+     new equivalence class"; the root joins the class being explored. *)
+  and insert_binding t ~target (b : M.op Rule.binding) : Memo.group =
+    match b with
+    | Rule.Group g -> g
+    | Rule.Node (op, subs) ->
+      let inputs = List.map (insert_binding_input t) subs in
+      Memo.insert t.memo ~target op inputs
+
+  and insert_binding_input t (b : M.op Rule.binding) : Memo.group =
+    match b with
+    | Rule.Group g -> g
+    | Rule.Node (op, subs) ->
+      let inputs = List.map (insert_binding_input t) subs in
+      Memo.insert t.memo op inputs
+
+  and explore_group t g =
+    let g = Memo.find_root t.memo g in
+    if Memo.is_explored t.memo g || Memo.is_exploring t.memo g then ()
+    else begin
+      Memo.set_exploring t.memo g true;
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let snapshot = Memo.mexprs t.memo g in
+        List.iter
+          (fun (m : Memo.mexpr) ->
+            List.iter
+              (fun (i, (rule : (M.op, M.logical_props) Rule.transform)) ->
+                let bit = 1 lsl i in
+                if m.applied land bit = 0 then begin
+                  m.applied <- m.applied lor bit;
+                  let bindings = bindings_at t rule.t_pattern m in
+                  List.iter
+                    (fun b ->
+                      let results = rule.t_apply ~lookup:(lookup t) b in
+                      if results <> [] then begin
+                        t.stats.rule_firings <- t.stats.rule_firings + 1;
+                        List.iter
+                          (fun b' ->
+                            let g' = insert_binding t ~target:g b' in
+                            ignore (g' : Memo.group);
+                            progress := true)
+                          results
+                      end)
+                    bindings
+                end)
+              rule_index)
+          snapshot;
+        (* New mexprs appended during this sweep are caught by the next
+           sweep; the applied-bitmask keeps work linear in (mexpr, rule)
+           pairs. *)
+        if not !progress then ()
+      done;
+      Memo.set_exploring t.memo g false;
+      Memo.set_explored t.memo g true
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Moves                                                               *)
+  (* ------------------------------------------------------------------ *)
+
+  type move =
+    | Impl of {
+        alg : M.alg;
+        input_groups : Memo.group list;
+        input_reqs : M.phys_props list;  (** one alternative vector *)
+        promise : int;
+      }
+    | Enforce of {
+        alg : M.alg;
+        relaxed : M.phys_props;
+        excluded : M.phys_props;
+        promise : int;
+      }
+
+  let move_promise = function Impl m -> m.promise | Enforce m -> m.promise
+
+  let impl_moves t g ~required =
+    explore_group t g;
+    List.concat_map
+      (fun (rule : (M.op, M.alg, M.logical_props, M.phys_props) Rule.implement) ->
+        let bindings =
+          List.concat_map (fun m -> bindings_at t rule.i_pattern m) (Memo.mexprs t.memo g)
+        in
+        List.concat_map
+          (fun b ->
+            rule.i_apply ~lookup:(lookup t) ~required b
+            |> List.concat_map (fun (c : _ Rule.impl_choice) ->
+                   List.map
+                     (fun vector ->
+                       if List.length vector <> List.length c.c_inputs then
+                         invalid_arg
+                           (Printf.sprintf
+                              "rule %s: alternative vector arity mismatch for %s"
+                              rule.i_name (M.alg_name c.c_alg));
+                       Impl
+                         {
+                           alg = c.c_alg;
+                           input_groups = List.map (Memo.find_root t.memo) c.c_inputs;
+                           input_reqs = vector;
+                           promise = rule.i_promise;
+                         })
+                     c.c_alternatives))
+          bindings)
+      M.implementations
+
+  let enforcer_moves ~props ~required =
+    List.map
+      (fun (alg, relaxed, excluded) -> Enforce { alg; relaxed; excluded; promise = 0 })
+      (M.enforcers ~props ~required)
+
+  (* ------------------------------------------------------------------ *)
+  (* FindBestPlan                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  let cost_lt a b = M.cost_compare a b < 0
+
+  let cost_le a b = M.cost_compare a b <= 0
+
+  (* Skip moves whose delivered properties already satisfy the excluding
+     vector: "since merge-join is able to satisfy the excluding
+     properties, it would not be considered a suitable algorithm for the
+     sort input" (§3). *)
+  let excluded_by ~excluded ~delivered =
+    match excluded with
+    | None -> false
+    | Some ex -> M.pp_covers ~provided:delivered ~required:ex
+
+  let rec find_best t g ~required ~excluded ~limit : Memo.plan option =
+    let g = Memo.find_root t.memo g in
+    let key = (required, excluded) in
+    match Memo.winner t.memo g key with
+    | Some w -> begin
+      match w.w_plan with
+      | Some p ->
+        (* A recorded plan is optimal for this goal; it only answers
+           the request if it fits the present limit (Figure 2: "if the
+           cost in the look-up table < Limit return Plan"). *)
+        t.stats.goal_hits <- t.stats.goal_hits + 1;
+        if (not t.config.pruning) || cost_le p.p_cost limit then Some p else None
+      | None ->
+        if cost_le limit w.w_bound then begin
+          (* Recorded failure at a bound at least as generous: fail
+             fast ("failures that can save future optimization
+             effort ... with the same or even lower cost limits"). *)
+          t.stats.goal_hits <- t.stats.goal_hits + 1;
+          None
+        end
+        else optimize_goal t g ~required ~excluded ~limit
+    end
+    | None ->
+      if Memo.in_progress t.memo g key then None
+      else optimize_goal t g ~required ~excluded ~limit
+
+  and optimize_goal t g ~required ~excluded ~limit : Memo.plan option =
+    let key = (required, excluded) in
+    t.stats.goals <- t.stats.goals + 1;
+    if t.stats.goals > t.config.task_limit then raise Search_limit_exceeded;
+    Memo.mark_in_progress t.memo g key;
+    let moves =
+      impl_moves t g ~required @ enforcer_moves ~props:(lookup t g) ~required
+    in
+    let moves =
+      List.stable_sort (fun a b -> compare (move_promise b) (move_promise a)) moves
+    in
+    let moves =
+      match t.config.max_moves with
+      | None -> moves
+      | Some k -> List.filteri (fun i _ -> i < k) moves
+    in
+    let best : Memo.plan option ref = ref None in
+    (* The running branch-and-bound limit: starts at the caller's limit
+       and tightens as complete plans are found. *)
+    let bound = ref (if t.config.pruning then limit else M.cost_infinite) in
+    let consider (candidate : Memo.plan) =
+      let better =
+        match !best with
+        | None -> (not t.config.pruning) || cost_le candidate.p_cost limit
+        | Some b -> cost_lt candidate.p_cost b.p_cost
+      in
+      if better && M.pp_covers ~provided:candidate.p_props ~required then begin
+        best := Some candidate;
+        if cost_lt candidate.p_cost !bound then bound := candidate.p_cost
+      end
+    in
+    let pursue = function
+      | Impl { alg; input_groups; input_reqs; promise = _ } ->
+        let input_props = List.map (lookup t) input_groups in
+        let output_props = lookup t g in
+        let delivered = M.deliver alg input_reqs in
+        if excluded_by ~excluded ~delivered then ()
+        else if not (M.pp_covers ~provided:delivered ~required) then ()
+        else begin
+          t.stats.plans_costed <- t.stats.plans_costed + 1;
+          let local =
+            M.cost_of alg ~inputs:input_props ~input_props:input_reqs ~output:output_props
+          in
+          (* Optimize inputs left to right, tightening the remaining
+             budget (Figure 2: Limit - TotalCost). *)
+          let rec inputs_loop acc_cost acc_plans groups reqs =
+            match groups, reqs with
+            | [], [] -> Some (acc_cost, List.rev acc_plans)
+            | gi :: groups', ri :: reqs' ->
+              if t.config.pruning && not (cost_le acc_cost !bound) then begin
+                t.stats.pruned <- t.stats.pruned + 1;
+                None
+              end
+              else begin
+                let sub_limit = M.cost_sub !bound acc_cost in
+                match find_best t gi ~required:ri ~excluded:None ~limit:sub_limit with
+                | None -> None
+                | Some sub ->
+                  inputs_loop
+                    (M.cost_add acc_cost sub.Memo.p_cost)
+                    ((gi, ri, None) :: acc_plans)
+                    groups' reqs'
+              end
+            | _, _ -> assert false
+          in
+          match inputs_loop local [] input_groups input_reqs with
+          | None -> ()
+          | Some (total, input_goals) ->
+            consider
+              { Memo.p_alg = alg; p_inputs = input_goals; p_props = delivered; p_cost = total }
+        end
+      | Enforce { alg; relaxed; excluded = enf_excluded; promise = _ } ->
+        let gprops = lookup t g in
+        let delivered = M.deliver alg [ relaxed ] in
+        if excluded_by ~excluded ~delivered then ()
+        else if not (M.pp_covers ~provided:delivered ~required) then ()
+        else begin
+          t.stats.enforcer_moves <- t.stats.enforcer_moves + 1;
+          t.stats.plans_costed <- t.stats.plans_costed + 1;
+          (* "the Volcano optimizer generator's search algorithm
+             immediately ... subtracts the cost of the enforcer ...
+             from the bound used for branch-and-bound pruning" (§6). *)
+          let local =
+            M.cost_of alg ~inputs:[ gprops ] ~input_props:[ relaxed ] ~output:gprops
+          in
+          let sub_limit = M.cost_sub !bound local in
+          if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then
+            t.stats.pruned <- t.stats.pruned + 1
+          else
+            match
+              find_best t g ~required:relaxed ~excluded:(Some enf_excluded) ~limit:sub_limit
+            with
+            | None -> ()
+            | Some sub ->
+              consider
+                {
+                  Memo.p_alg = alg;
+                  p_inputs = [ (g, relaxed, Some enf_excluded) ];
+                  p_props = delivered;
+                  p_cost = M.cost_add local sub.Memo.p_cost;
+                }
+        end
+    in
+    List.iter pursue moves;
+    Memo.unmark_in_progress t.memo g key;
+    (match !best with
+     | Some p -> Memo.set_winner t.memo g key (Some p) limit
+     | None ->
+       t.stats.failures <- t.stats.failures + 1;
+       Memo.set_winner t.memo g key None limit);
+    !best
+
+  (* ------------------------------------------------------------------ *)
+  (* Plan extraction                                                     *)
+  (* ------------------------------------------------------------------ *)
+
+  let rec extract t g ~required ~excluded : plan_tree =
+    let g = Memo.find_root t.memo g in
+    match Memo.winner t.memo g (required, excluded) with
+    | None | Some { w_plan = None; _ } ->
+      invalid_arg "Search.extract: no winning plan recorded for goal"
+    | Some { w_plan = Some p; _ } ->
+      (* Consistency check (§2.2): "generated optimizers verify that the
+         physical properties of a chosen plan really do satisfy the
+         physical property vector given as part of the optimization
+         goal." *)
+      assert (M.pp_covers ~provided:p.p_props ~required);
+      let children =
+        List.map (fun (gi, ri, ei) -> extract t gi ~required:ri ~excluded:ei) p.p_inputs
+      in
+      { alg = p.p_alg; children; props = p.p_props; cost = p.p_cost }
+
+  type outcome = {
+    plan : plan_tree option;  (** [None]: no plan within the cost limit *)
+    root_group : Memo.group;
+    search_stats : Search_stats.t;
+    memo_groups : int;
+    memo_mexprs : int;
+  }
+
+  (** Optimize a query: insert it, run FindBestPlan for the required
+      properties under the cost limit, and extract the winning plan.
+      A fresh optimizer should be used per query (the paper reinitializes
+      partial results for each query). *)
+  let optimize ?(limit = M.cost_infinite) t (query : M.op Tree.t) ~required : outcome =
+    let root = insert_query t query in
+    let result = find_best t root ~required ~excluded:None ~limit in
+    let plan =
+      match result with
+      | None -> None
+      | Some _ -> Some (extract t root ~required ~excluded:None)
+    in
+    {
+      plan;
+      root_group = root;
+      search_stats = t.stats;
+      memo_groups = Memo.n_groups t.memo;
+      memo_mexprs = Memo.n_mexprs t.memo;
+    }
+
+  (* Render the memo: every equivalence class with its logical
+     multi-expressions and the winners recorded per optimization goal —
+     the paper's "hash table of expressions and equivalence classes"
+     made visible for debugging and teaching. *)
+  let pp_memo ppf t =
+    List.iter
+      (fun g ->
+        let mexprs = Memo.mexprs t.memo g in
+        if mexprs <> [] then begin
+          Format.fprintf ppf "group %d:@\n" g;
+          List.iter
+            (fun (m : Memo.mexpr) ->
+              Format.fprintf ppf "  %s(%s)@\n" (M.op_name m.op)
+                (String.concat ", " (List.map string_of_int m.inputs)))
+            mexprs
+        end)
+      (Memo.roots t.memo)
+
+  let pp_plan ppf (p : plan_tree) =
+    let rec go depth node =
+      Format.fprintf ppf "%s%s  [%s; cost %s]" (String.make depth ' ')
+        (M.alg_name node.alg) (M.pp_to_string node.props) (M.cost_to_string node.cost);
+      List.iter
+        (fun c ->
+          Format.pp_print_newline ppf ();
+          go (depth + 2) c)
+        node.children
+    in
+    go 0 p
+end

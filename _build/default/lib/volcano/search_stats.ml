@@ -1,0 +1,45 @@
+type t = {
+  mutable goals : int;
+  mutable goal_hits : int;
+  mutable groups_created : int;
+  mutable mexprs_created : int;
+  mutable rule_firings : int;
+  mutable plans_costed : int;
+  mutable enforcer_moves : int;
+  mutable failures : int;
+  mutable pruned : int;
+  mutable merges : int;
+}
+
+let create () =
+  {
+    goals = 0;
+    goal_hits = 0;
+    groups_created = 0;
+    mexprs_created = 0;
+    rule_firings = 0;
+    plans_costed = 0;
+    enforcer_moves = 0;
+    failures = 0;
+    pruned = 0;
+    merges = 0;
+  }
+
+let reset t =
+  t.goals <- 0;
+  t.goal_hits <- 0;
+  t.groups_created <- 0;
+  t.mexprs_created <- 0;
+  t.rule_firings <- 0;
+  t.plans_costed <- 0;
+  t.enforcer_moves <- 0;
+  t.failures <- 0;
+  t.pruned <- 0;
+  t.merges <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "goals=%d hits=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d failures=%d \
+     pruned=%d merges=%d"
+    t.goals t.goal_hits t.groups_created t.mexprs_created t.rule_firings t.plans_costed
+    t.enforcer_moves t.failures t.pruned t.merges

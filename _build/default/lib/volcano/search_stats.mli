@@ -1,0 +1,22 @@
+(** Machine-independent search-effort counters. Figure 4 compares
+    wall-clock seconds on a SparcStation-1; these counters let the
+    benchmarks report effort in a hardware-neutral way alongside time. *)
+
+type t = {
+  mutable goals : int;  (** FindBestPlan invocations that ran a real optimization *)
+  mutable goal_hits : int;  (** FindBestPlan calls answered from the winner table *)
+  mutable groups_created : int;
+  mutable mexprs_created : int;
+  mutable rule_firings : int;  (** transformation-rule applications *)
+  mutable plans_costed : int;  (** implementation/enforcer moves pursued *)
+  mutable enforcer_moves : int;
+  mutable failures : int;  (** goals concluded without a plan within the limit *)
+  mutable pruned : int;  (** moves abandoned because the cost limit was exceeded *)
+  mutable merges : int;  (** equivalence-class merges from duplicate detection *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

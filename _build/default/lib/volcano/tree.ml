@@ -1,0 +1,22 @@
+type 'op t = Node of 'op * 'op t list
+
+let node op inputs = Node (op, inputs)
+
+let op (Node (o, _)) = o
+
+let inputs (Node (_, is)) = is
+
+let rec size (Node (_, is)) = 1 + List.fold_left (fun acc i -> acc + size i) 0 is
+
+let rec map f (Node (o, is)) = Node (f o, List.map (map f) is)
+
+let pp pp_op ppf t =
+  let rec go depth (Node (o, is)) =
+    Format.fprintf ppf "%s%a" (String.make (2 * depth) ' ') pp_op o;
+    List.iter
+      (fun i ->
+        Format.pp_print_newline ppf ();
+        go (depth + 1) i)
+      is
+  in
+  go 0 t

@@ -1,0 +1,16 @@
+(** Plain operator trees: the form in which queries enter a generated
+    optimizer, before being captured in the memo. *)
+
+type 'op t = Node of 'op * 'op t list
+
+val node : 'op -> 'op t list -> 'op t
+
+val op : 'op t -> 'op
+
+val inputs : 'op t -> 'op t list
+
+val size : 'op t -> int
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pp : (Format.formatter -> 'op -> unit) -> Format.formatter -> 'op t -> unit

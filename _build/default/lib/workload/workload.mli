@@ -1,0 +1,36 @@
+(** Random select–join workloads reproducing the paper's experimental
+    setup (§4.2): queries over 2–8 input relations of 1,200–7,200
+    records of 100 bytes, with as many selections as input relations.
+    All generation is seeded and reproducible. *)
+
+type shape =
+  | Chain  (** R1 ⋈ R2 ⋈ ... ⋈ Rn, predicates between neighbours *)
+  | Star  (** R1 joined to each of R2..Rn *)
+  | Random_acyclic  (** random spanning tree of join predicates *)
+
+type spec = {
+  n_relations : int;
+  shape : shape;
+  min_rows : int;  (** default 1,200 — paper's smallest relation *)
+  max_rows : int;  (** default 7,200 — paper's largest *)
+  row_bytes : int;  (** default 100 — paper's record size *)
+  seed : int;
+}
+
+val spec : ?shape:shape -> ?min_rows:int -> ?max_rows:int -> ?row_bytes:int ->
+  n_relations:int -> seed:int -> unit -> spec
+
+type query = {
+  catalog : Catalog.t;
+  logical : Relalg.Logical.expr;  (** selections on leaves, left-deep join spine *)
+  relations : string list;
+}
+
+val generate : spec -> query
+(** Build a fresh catalog with [n_relations] synthetic relations and a
+    select–join query over all of them, with one selection predicate
+    per relation (the paper's "as many selections as input relations"). *)
+
+val generate_batch : spec -> count:int -> query list
+(** [count] queries with distinct derived seeds (the paper optimizes 50
+    queries per complexity level). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Catalog Executor List Phys_prop Printf QCheck QCheck_alcotest Relalg Relmodel Tuple Value

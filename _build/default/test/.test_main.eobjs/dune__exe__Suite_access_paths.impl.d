@@ -1,0 +1,1 @@
+test/suite_access_paths.ml: Alcotest Catalog Cost Executor Expr Helpers List Logical Phys_prop Physical Printf Relalg Relmodel Schema Sort_order

@@ -1,0 +1,1 @@
+test/suite_dynplan.ml: Alcotest Catalog Cost Dynplan Executor Expr Float Helpers List Logical Phys_prop Physical Printf QCheck Relalg Relmodel String Value

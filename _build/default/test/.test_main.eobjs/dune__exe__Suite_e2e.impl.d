@@ -1,0 +1,1 @@
+test/suite_e2e.ml: Alcotest Array Cost Executor Expr Hashtbl Helpers List Logical Phys_prop Printf QCheck Relalg Relmodel Seq Sort_order Value Workload

@@ -1,0 +1,1 @@
+test/suite_executor.ml: Alcotest Array Catalog Executor Expr List Logical Physical Relalg Schema Sort_order Tuple Value

@@ -1,0 +1,1 @@
+test/suite_exodus.ml: Alcotest Array Cost Executor Exodus Expr Helpers List Logical Option Phys_prop Physical Printf Relalg Relmodel Sort_order Tuple Value Workload

@@ -1,0 +1,1 @@
+test/suite_expr.ml: Alcotest Expr Format Helpers List QCheck Relalg Schema Tuple Value

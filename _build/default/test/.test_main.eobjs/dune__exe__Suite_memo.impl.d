@@ -1,0 +1,1 @@
+test/suite_memo.ml: Alcotest Cost Expr Helpers List Logical Logical_props Phys_prop Physical QCheck Relalg Relmodel Sort_order Volcano

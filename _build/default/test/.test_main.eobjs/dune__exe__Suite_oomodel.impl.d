@@ -1,0 +1,1 @@
+test/suite_oomodel.ml: Alcotest List Oomodel Path_set Volcano

@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Array Catalog Cost Cost_model Executor Expr Float Helpers List Logical Phys_prop Physical Printf QCheck Random Relalg Relmodel Schema Sort_order Value

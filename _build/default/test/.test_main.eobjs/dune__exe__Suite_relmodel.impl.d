@@ -1,0 +1,1 @@
+test/suite_relmodel.ml: Alcotest Array Catalog Cost Expr Helpers List Logical Logical_props Phys_prop Physical Relalg Relmodel Schema Sort_order

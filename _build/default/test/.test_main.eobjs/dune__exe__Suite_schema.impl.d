@@ -1,0 +1,1 @@
+test/suite_schema.ml: Alcotest Array Relalg Schema Tuple Value

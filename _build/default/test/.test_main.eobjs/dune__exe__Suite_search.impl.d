@@ -1,0 +1,1 @@
+test/suite_search.ml: Alcotest Catalog Cost Executor Expr Float Helpers List Logical Option Phys_prop Physical QCheck Relalg Relmodel Schema Sort_order Workload

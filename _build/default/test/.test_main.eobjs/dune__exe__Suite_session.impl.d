@@ -1,0 +1,1 @@
+test/suite_session.ml: Alcotest Array Cost Executor Expr Helpers List Logical Phys_prop Printf Relalg Relmodel Sort_order Tuple Value

@@ -1,0 +1,1 @@
+test/suite_sort_order.ml: Alcotest Helpers Phys_prop QCheck Relalg Schema Sort_order Value

@@ -1,0 +1,1 @@
+test/suite_sql.ml: Alcotest Array Executor Expr Helpers List Logical Phys_prop Relalg Relmodel Sort_order Sqlfront Value

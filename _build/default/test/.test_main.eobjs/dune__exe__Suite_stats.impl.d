@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Array Catalog Expr Float Helpers Logical_props Option Printf Relalg Schema Seq Value

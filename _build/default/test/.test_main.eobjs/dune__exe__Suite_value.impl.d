@@ -1,0 +1,1 @@
+test/suite_value.ml: Alcotest Helpers List QCheck Relalg Value

@@ -1,0 +1,1 @@
+test/suite_volcano.ml: Alcotest Format List String Volcano

@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Catalog Expr List Logical Phys_prop Printf Relalg Relmodel Schema Tuple Workload

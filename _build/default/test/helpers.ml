@@ -1,0 +1,46 @@
+(* Shared fixtures for the test suites. *)
+
+open Relalg
+
+let small_catalog () =
+  let catalog = Catalog.create () in
+  let add name rows seed columns =
+    ignore (Catalog.add_synthetic catalog ~name ~columns ~rows ~seed ())
+  in
+  add "r" 60 1
+    [ ("id", Catalog.Serial); ("a", Catalog.Uniform_int (0, 9)); ("b", Catalog.Uniform_int (0, 4)) ];
+  add "s" 40 2
+    [ ("id", Catalog.Serial); ("a", Catalog.Uniform_int (0, 9)); ("c", Catalog.Uniform_int (0, 19)) ];
+  add "t" 25 3 [ ("id", Catalog.Serial); ("c", Catalog.Uniform_int (0, 19)) ];
+  catalog
+
+(* Multiset equality of tuple arrays, ignoring order. *)
+let same_bag (a : Tuple.t array) (b : Tuple.t array) =
+  let key t = List.map Value.to_string (Array.to_list t) in
+  let sorted arr = List.sort compare (List.map key (Array.to_list arr)) in
+  sorted a = sorted b
+
+let check_same_bag msg a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (|a|=%d |b|=%d)" msg (Array.length a) (Array.length b))
+    true (same_bag a b)
+
+(* Optimize a logical query against a catalog and return the plan,
+   failing the test when optimization fails. *)
+let optimize_plan ?(required = Phys_prop.any) ?request catalog query =
+  let req = match request with Some r -> r | None -> Relmodel.Optimizer.request catalog in
+  let result = Relmodel.Optimizer.optimize req query ~required in
+  match result.plan with
+  | Some p -> p
+  | None -> Alcotest.fail "optimizer returned no plan"
+
+(* End-to-end: optimized execution must agree with the naive oracle. *)
+let check_optimized_matches_naive ?(required = Phys_prop.any) catalog query =
+  let plan = optimize_plan ~required catalog query in
+  let expected, _ = Executor.naive catalog query in
+  let actual, _, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+  check_same_bag "optimized result = naive result" expected actual;
+  plan
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,133 @@
+(* Tests of multi-node implementation rules (paper §2.2): index range
+   scans implementing select-over-get, and the fused join+projection
+   operator. *)
+
+open Relalg
+
+let catalog =
+  let c = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic c ~name:"orders"
+       ~columns:
+         [
+           ("id", Catalog.Serial);
+           ("cust", Catalog.Uniform_int (0, 299));
+           ("total", Catalog.Uniform_int (0, 9_999));
+         ]
+       ~rows:5_000 ~seed:71 ());
+  ignore
+    (Catalog.add_synthetic c ~name:"cust"
+       ~columns:[ ("id", Catalog.Serial); ("tier", Catalog.Uniform_int (1, 3)) ]
+       ~rows:300 ~seed:72 ());
+  Catalog.add_index c ~table:"orders" [ "total" ];
+  c
+
+let request = { (Relmodel.Optimizer.request catalog) with restore_columns = false }
+
+let optimize ?(required = Phys_prop.any) q =
+  match (Relmodel.Optimizer.optimize request q ~required).plan with
+  | Some p -> p
+  | None -> Alcotest.fail "no plan"
+
+let rec algs (p : Relmodel.Optimizer.plan_node) = p.alg :: List.concat_map algs p.children
+
+let has pred p = List.exists pred (algs p)
+
+let is_index_scan = function Physical.Index_scan _ -> true | _ -> false
+
+let selective_query =
+  Expr.(Logical.select (col "orders.total" <=% int 50) (Logical.get "orders"))
+
+let test_index_scan_chosen_for_selective_predicate () =
+  let plan = optimize selective_query in
+  Alcotest.(check bool)
+    ("index scan chosen:\n" ^ Relmodel.Optimizer.explain plan)
+    true
+    (has is_index_scan plan)
+
+let test_index_scan_not_used_without_bound () =
+  (* No conjunct bounds an indexed column: the rule must not fire. *)
+  let q = Expr.(Logical.select (col "orders.id" >% int 4_000) (Logical.get "orders")) in
+  let plan = optimize q in
+  Alcotest.(check bool) "plain scan + filter" true (not (has is_index_scan plan))
+
+let test_index_order_serves_order_by () =
+  (* ORDER BY the index key: the index scan delivers the order and no
+     sort appears. *)
+  let required = Phys_prop.sorted (Sort_order.asc [ "orders.total" ]) in
+  let plan = optimize ~required selective_query in
+  Alcotest.(check bool) "index scan used" true (has is_index_scan plan);
+  Alcotest.(check bool) "no sort needed" true
+    (not (has (function Physical.Sort _ -> true | _ -> false) plan))
+
+let test_index_scan_execution_correct () =
+  List.iter
+    (fun required ->
+      let plan = optimize ~required selective_query in
+      let rows, schema, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+      let expected, _ = Executor.naive catalog selective_query in
+      Helpers.check_same_bag "index scan rows" expected rows;
+      if required.Phys_prop.order <> [] then
+        Alcotest.(check bool) "sorted as required" true
+          (Sort_order.is_sorted schema required.Phys_prop.order rows))
+    [ Phys_prop.any; Phys_prop.sorted (Sort_order.asc [ "orders.total" ]) ]
+
+let fused_query =
+  Expr.(
+    Logical.project
+      [ "orders.id"; "cust.tier" ]
+      (Logical.join (col "orders.cust" =% col "cust.id") (Logical.get "orders")
+         (Logical.get "cust")))
+
+let test_join_project_fusion () =
+  let plan = optimize fused_query in
+  Alcotest.(check bool)
+    ("fused operator chosen:\n" ^ Relmodel.Optimizer.explain plan)
+    true
+    (has (function Physical.Hash_join_project _ -> true | _ -> false) plan)
+
+let test_fusion_execution_correct () =
+  let plan = optimize fused_query in
+  let rows, schema, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+  let expected, _ = Executor.naive catalog fused_query in
+  Helpers.check_same_bag "fused join-project rows" expected rows;
+  Alcotest.(check (list string)) "projected schema" [ "orders.id"; "cust.tier" ]
+    (Schema.names schema)
+
+let test_fusion_cheaper_than_separate () =
+  let fused = optimize fused_query in
+  (* Hand-build the unfused plan: project over the same join. *)
+  let join =
+    Expr.(
+      Logical.join (col "orders.cust" =% col "cust.id") (Logical.get "orders")
+        (Logical.get "cust"))
+  in
+  let join_plan = optimize join in
+  let separate =
+    Physical.mk
+      (Physical.Project_cols [ "orders.id"; "cust.tier" ])
+      [ Relmodel.Optimizer.to_physical join_plan ]
+  in
+  let fused_cost = Cost.total fused.cost in
+  let separate_cost = Cost.total (Relmodel.Plan_cost.estimate catalog separate) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused (%.4f) < separate (%.4f)" fused_cost separate_cost)
+    true (fused_cost < separate_cost)
+
+let test_indexes_are_registered_once () =
+  Catalog.add_index catalog ~table:"orders" [ "total" ];
+  let t = Catalog.find catalog "orders" in
+  Alcotest.(check int) "no duplicate index entries" 1 (List.length t.indexes)
+
+let suite =
+  [
+    Alcotest.test_case "index scan for selective predicate" `Quick
+      test_index_scan_chosen_for_selective_predicate;
+    Alcotest.test_case "no index without a bound" `Quick test_index_scan_not_used_without_bound;
+    Alcotest.test_case "index order serves ORDER BY" `Quick test_index_order_serves_order_by;
+    Alcotest.test_case "index scan executes correctly" `Quick test_index_scan_execution_correct;
+    Alcotest.test_case "join+projection fuses" `Quick test_join_project_fusion;
+    Alcotest.test_case "fusion executes correctly" `Quick test_fusion_execution_correct;
+    Alcotest.test_case "fusion is cheaper" `Quick test_fusion_cheaper_than_separate;
+    Alcotest.test_case "index dedup in catalog" `Quick test_indexes_are_registered_once;
+  ]

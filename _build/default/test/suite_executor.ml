@@ -1,0 +1,226 @@
+(* Unit tests for the Volcano iterator execution engine: each operator's
+   semantics in isolation, plus I/O accounting. *)
+
+open Relalg
+
+let schema_rk : Schema.t =
+  [| Schema.attribute "r.k" Schema.TInt; Schema.attribute "r.v" Schema.TInt |]
+
+let schema_sk : Schema.t =
+  [| Schema.attribute "s.k" Schema.TInt; Schema.attribute "s.w" Schema.TInt |]
+
+let rows l : Tuple.t array = Array.of_list (List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) l)
+
+let ints (t : Tuple.t) =
+  Array.to_list t
+  |> List.map (function Value.Int i -> i | v -> Alcotest.fail (Value.to_string v))
+
+let run_cursor c = Array.to_list (Executor.Cursor.to_array c) |> List.map ints
+
+let src schema l = Executor.Cursor.of_array schema (rows l)
+
+let test_hash_join_duplicates () =
+  (* Duplicate keys on both sides: output is the full group cross
+     product. *)
+  let left = src schema_rk [ (1, 10); (1, 11); (2, 20) ] in
+  let right = src schema_sk [ (1, 100); (1, 101); (3, 300) ] in
+  let c = Executor.Engine.hash_join [ ("r.k", "s.k") ] Expr.true_ left right in
+  let out = run_cursor c in
+  Alcotest.(check int) "2x2 matches for key 1" 4 (List.length out);
+  List.iter
+    (fun row -> match row with
+       | [ k1; _; k2; _ ] -> Alcotest.(check int) "keys equal" k1 k2
+       | _ -> Alcotest.fail "bad arity")
+    out
+
+let test_hash_join_residual () =
+  let left = src schema_rk [ (1, 10); (1, 11) ] in
+  let right = src schema_sk [ (1, 100) ] in
+  let residual = Expr.(col "r.k" =% col "s.k" &&% (col "r.v" >% int 10)) in
+  let c = Executor.Engine.hash_join [ ("r.k", "s.k") ] residual left right in
+  Alcotest.(check int) "residual filters" 1 (List.length (run_cursor c))
+
+let test_merge_join_groups () =
+  (* Sorted inputs with duplicate key groups on both sides. *)
+  let left = src schema_rk [ (1, 10); (2, 20); (2, 21); (4, 40) ] in
+  let right = src schema_sk [ (2, 200); (2, 201); (3, 300); (4, 400) ] in
+  let c = Executor.Engine.merge_join [ ("r.k", "s.k") ] Expr.true_ left right in
+  let out = run_cursor c in
+  (* key 2: 2x2 = 4; key 4: 1x1 = 1. *)
+  Alcotest.(check int) "group cross products" 5 (List.length out)
+
+let test_merge_equals_hash () =
+  let ldata = [ (1, 1); (1, 2); (3, 3); (5, 4); (5, 5); (5, 6) ] in
+  let rdata = [ (1, 9); (2, 8); (5, 7); (5, 6) ] in
+  let mj =
+    Executor.Engine.merge_join [ ("r.k", "s.k") ] Expr.true_ (src schema_rk ldata)
+      (src schema_sk rdata)
+  in
+  let hj =
+    Executor.Engine.hash_join [ ("r.k", "s.k") ] Expr.true_ (src schema_rk ldata)
+      (src schema_sk rdata)
+  in
+  let sort = List.sort compare in
+  Alcotest.(check bool) "same output" true (sort (run_cursor mj) = sort (run_cursor hj))
+
+let test_nested_loop_rescan () =
+  let left = src schema_rk [ (1, 10); (2, 20) ] in
+  let right = src schema_sk [ (1, 100); (2, 200) ] in
+  let c =
+    Executor.Engine.nested_loop_join Expr.(col "r.k" =% col "s.k") left right
+  in
+  Alcotest.(check int) "both outer rows match" 2 (List.length (run_cursor c))
+
+let test_sort_and_dedup () =
+  let catalog = Catalog.create () in
+  let ctx = Executor.Engine.context catalog in
+  let input = src schema_rk [ (3, 1); (1, 1); (2, 1); (1, 1) ] in
+  let sorted = Executor.Engine.sort_op ctx (Sort_order.asc [ "r.k" ]) ~dedup:false input in
+  Alcotest.(check (list (list int))) "sorted with duplicates"
+    [ [ 1; 1 ]; [ 1; 1 ]; [ 2; 1 ]; [ 3; 1 ] ]
+    (run_cursor sorted);
+  let input2 = src schema_rk [ (3, 1); (1, 1); (2, 1); (1, 1) ] in
+  let deduped = Executor.Engine.sort_op ctx (Sort_order.asc [ "r.k" ]) ~dedup:true input2 in
+  Alcotest.(check (list (list int))) "sort_dedup removes duplicates"
+    [ [ 1; 1 ]; [ 2; 1 ]; [ 3; 1 ] ]
+    (run_cursor deduped)
+
+let test_hash_dedup () =
+  let input = src schema_rk [ (1, 1); (2, 2); (1, 1); (2, 2); (3, 3) ] in
+  let c = Executor.Engine.hash_dedup_op input in
+  Alcotest.(check int) "distinct rows" 3 (List.length (run_cursor c))
+
+let test_merge_setops_with_duplicates () =
+  (* Sorted but NOT distinct inputs: merge set ops dedup on the fly. *)
+  let l = src schema_rk [ (1, 0); (1, 0); (2, 0); (3, 0) ] in
+  let r = src schema_rk [ (2, 0); (2, 0); (4, 0) ] in
+  let union = Executor.Engine.merge_setop `Union l r in
+  Alcotest.(check (list (list int))) "union"
+    [ [ 1; 0 ]; [ 2; 0 ]; [ 3; 0 ]; [ 4; 0 ] ]
+    (run_cursor union);
+  let l2 = src schema_rk [ (1, 0); (1, 0); (2, 0); (3, 0) ] in
+  let r2 = src schema_rk [ (2, 0); (2, 0); (4, 0) ] in
+  let inter = Executor.Engine.merge_setop `Intersect l2 r2 in
+  Alcotest.(check (list (list int))) "intersect" [ [ 2; 0 ] ] (run_cursor inter);
+  let l3 = src schema_rk [ (1, 0); (1, 0); (2, 0); (3, 0) ] in
+  let r3 = src schema_rk [ (2, 0); (2, 0); (4, 0) ] in
+  let diff = Executor.Engine.merge_setop `Difference l3 r3 in
+  Alcotest.(check (list (list int))) "difference" [ [ 1; 0 ]; [ 3; 0 ] ] (run_cursor diff)
+
+let test_hash_setops () =
+  let l () = src schema_rk [ (1, 0); (2, 0); (2, 0); (3, 0) ] in
+  let r () = src schema_rk [ (2, 0); (4, 0) ] in
+  let sort = List.sort compare in
+  Alcotest.(check (list (list int))) "hash union"
+    [ [ 1; 0 ]; [ 2; 0 ]; [ 3; 0 ]; [ 4; 0 ] ]
+    (sort (run_cursor (Executor.Engine.hash_union (l ()) (r ()))));
+  Alcotest.(check (list (list int))) "hash intersect" [ [ 2; 0 ] ]
+    (sort (run_cursor (Executor.Engine.hash_semi ~anti:false (l ()) (r ()))));
+  Alcotest.(check (list (list int))) "hash difference" [ [ 1; 0 ]; [ 3; 0 ] ]
+    (sort (run_cursor (Executor.Engine.hash_semi ~anti:true (l ()) (r ()))))
+
+let aggs =
+  [
+    { Logical.func = Logical.Count; column = None; alias = "n" };
+    { Logical.func = Logical.Sum; column = Some "r.v"; alias = "sum_v" };
+    { Logical.func = Logical.Min; column = Some "r.v"; alias = "min_v" };
+    { Logical.func = Logical.Max; column = Some "r.v"; alias = "max_v" };
+    { Logical.func = Logical.Avg; column = Some "r.v"; alias = "avg_v" };
+  ]
+
+let test_hash_aggregate () =
+  let input = src schema_rk [ (1, 10); (1, 20); (2, 5) ] in
+  let c = Executor.Engine.hash_aggregate [ "r.k" ] aggs input in
+  let out = Array.to_list (Executor.Cursor.to_array c) in
+  Alcotest.(check int) "two groups" 2 (List.length out);
+  let g1 = List.find (fun t -> Value.equal t.(0) (Value.Int 1)) out in
+  Alcotest.(check bool) "count" true (Value.equal g1.(1) (Value.Int 2));
+  Alcotest.(check bool) "sum" true (Value.equal g1.(2) (Value.Int 30));
+  Alcotest.(check bool) "min" true (Value.equal g1.(3) (Value.Int 10));
+  Alcotest.(check bool) "max" true (Value.equal g1.(4) (Value.Int 20));
+  Alcotest.(check bool) "avg" true (Value.equal g1.(5) (Value.Float 15.))
+
+let test_stream_aggregate_matches_hash () =
+  let data = [ (1, 10); (1, 20); (2, 5); (3, 1); (3, 2); (3, 3) ] in
+  let h = Executor.Engine.hash_aggregate [ "r.k" ] aggs (src schema_rk data) in
+  let s = Executor.Engine.stream_aggregate [ "r.k" ] aggs (src schema_rk data) in
+  let arr c = Array.to_list (Executor.Cursor.to_array c) |> List.map Array.to_list in
+  Alcotest.(check bool) "same groups" true
+    (List.sort compare (arr h) = List.sort compare (arr s))
+
+let test_aggregate_nulls () =
+  let data : Tuple.t array =
+    [| [| Value.Int 1; Value.Null |]; [| Value.Int 1; Value.Int 5 |] |]
+  in
+  let input = Executor.Cursor.of_array schema_rk data in
+  let c =
+    Executor.Engine.hash_aggregate [ "r.k" ]
+      [
+        { Logical.func = Logical.Count; column = Some "r.v"; alias = "nv" };
+        { Logical.func = Logical.Count; column = None; alias = "n" };
+        { Logical.func = Logical.Sum; column = Some "r.v"; alias = "s" };
+      ]
+      input
+  in
+  match Array.to_list (Executor.Cursor.to_array c) with
+  | [ row ] ->
+    Alcotest.(check bool) "count(col) skips null" true (Value.equal row.(1) (Value.Int 1));
+    Alcotest.(check bool) "count(*) keeps null" true (Value.equal row.(2) (Value.Int 2));
+    Alcotest.(check bool) "sum skips null" true (Value.equal row.(3) (Value.Int 5))
+  | _ -> Alcotest.fail "expected a single group"
+
+let test_empty_group_by_all () =
+  (* Grouping by no keys: one row even over multiple inputs (grand
+     total); zero rows over empty input (SQL's empty grouping). *)
+  let c =
+    Executor.Engine.hash_aggregate []
+      [ { Logical.func = Logical.Count; column = None; alias = "n" } ]
+      (src schema_rk [ (1, 1); (2, 2) ])
+  in
+  (match Array.to_list (Executor.Cursor.to_array c) with
+   | [ row ] -> Alcotest.(check bool) "count 2" true (Value.equal row.(0) (Value.Int 2))
+   | _ -> Alcotest.fail "expected one total row")
+
+let test_io_accounting () =
+  let catalog = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic catalog ~name:"big"
+       ~columns:[ ("k", Catalog.Serial); ("v", Catalog.Uniform_int (0, 9)) ]
+       ~rows:10_000 ~seed:1 ());
+  let plan = Physical.mk (Physical.Table_scan "big") [] in
+  let _, _, io = Executor.run catalog plan in
+  (* 10,000 rows x 16 bytes = 160,000 bytes = 40 pages of 4096. *)
+  Alcotest.(check int) "page reads" 40 io.Executor.Io_stats.page_reads;
+  (* A spilling sort writes and re-reads its input. *)
+  let sorted = Physical.mk (Physical.Sort (Sort_order.asc [ "big.v" ])) [ plan ] in
+  let _, _, io2 = Executor.run ~memory_pages:8 catalog sorted in
+  Alcotest.(check int) "spill writes" 40 io2.Executor.Io_stats.page_writes;
+  Alcotest.(check int) "spill re-reads" 80 io2.Executor.Io_stats.page_reads;
+  let _, _, io3 = Executor.run ~memory_pages:1024 catalog sorted in
+  Alcotest.(check int) "in-memory sort has no spill" 0 io3.Executor.Io_stats.page_writes
+
+let test_cursor_reopen () =
+  (* Cursors are restartable: open/next/close then open again. *)
+  let c = src schema_rk [ (1, 1); (2, 2) ] in
+  let first = Executor.Cursor.to_array c in
+  let second = Executor.Cursor.to_array c in
+  Alcotest.(check int) "same row count on re-open" (Array.length first) (Array.length second)
+
+let suite =
+  [
+    Alcotest.test_case "hash join duplicate keys" `Quick test_hash_join_duplicates;
+    Alcotest.test_case "hash join residual predicate" `Quick test_hash_join_residual;
+    Alcotest.test_case "merge join key groups" `Quick test_merge_join_groups;
+    Alcotest.test_case "merge join == hash join" `Quick test_merge_equals_hash;
+    Alcotest.test_case "nested loop" `Quick test_nested_loop_rescan;
+    Alcotest.test_case "sort and sort_dedup" `Quick test_sort_and_dedup;
+    Alcotest.test_case "hash dedup" `Quick test_hash_dedup;
+    Alcotest.test_case "merge set ops with duplicates" `Quick test_merge_setops_with_duplicates;
+    Alcotest.test_case "hash set ops" `Quick test_hash_setops;
+    Alcotest.test_case "hash aggregate" `Quick test_hash_aggregate;
+    Alcotest.test_case "stream == hash aggregate" `Quick test_stream_aggregate_matches_hash;
+    Alcotest.test_case "aggregate null handling" `Quick test_aggregate_nulls;
+    Alcotest.test_case "grand total aggregate" `Quick test_empty_group_by_all;
+    Alcotest.test_case "io accounting" `Quick test_io_accounting;
+    Alcotest.test_case "cursor re-open" `Quick test_cursor_reopen;
+  ]

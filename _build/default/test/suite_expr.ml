@@ -1,0 +1,137 @@
+(* Unit and property tests for the scalar expression language. *)
+
+open Relalg
+open Expr
+
+let schema : Schema.t =
+  [|
+    Schema.attribute "r.a" Schema.TInt;
+    Schema.attribute "r.b" Schema.TInt;
+    Schema.attribute "s.a" Schema.TInt;
+  |]
+
+let tuple a b c : Tuple.t = [| Value.Int a; Value.Int b; Value.Int c |]
+
+let test_eval_comparisons () =
+  let holds e t = Expr.eval_pred schema e t in
+  Alcotest.(check bool) "eq true" true (holds (col "r.a" =% int 1) (tuple 1 2 3));
+  Alcotest.(check bool) "eq false" false (holds (col "r.a" =% int 2) (tuple 1 2 3));
+  Alcotest.(check bool) "lt" true (holds (col "r.a" <% col "r.b") (tuple 1 2 3));
+  Alcotest.(check bool) "and short-circuit" false
+    (holds (col "r.a" =% int 9 &&% (col "r.b" =% int 2)) (tuple 1 2 3));
+  Alcotest.(check bool) "or" true
+    (holds (col "r.a" =% int 9 ||% (col "r.b" =% int 2)) (tuple 1 2 3));
+  Alcotest.(check bool) "not" true (holds (Not (col "r.a" =% int 9)) (tuple 1 2 3))
+
+let test_null_semantics () =
+  let t : Tuple.t = [| Value.Null; Value.Int 2; Value.Int 3 |] in
+  Alcotest.(check bool) "null comparison filters out" false
+    (Expr.eval_pred schema (col "r.a" =% int 1) t);
+  Alcotest.(check bool) "null <> also false" false
+    (Expr.eval_pred schema (Cmp (Ne, col "r.a", int 1)) t);
+  (* NOT (null = 1) is null, not true. *)
+  Alcotest.(check bool) "not of null is not true" false
+    (Expr.eval_pred schema (Not (col "r.a" =% int 1)) t);
+  (* A disjunction with a true arm survives a null arm. *)
+  Alcotest.(check bool) "null or true" true
+    (Expr.eval_pred schema (col "r.a" =% int 1 ||% (col "r.b" =% int 2)) t)
+
+let test_arith_eval () =
+  let f = Expr.compile schema (Arith (Add, col "r.a", Arith (Mul, col "r.b", int 10))) in
+  Alcotest.(check bool) "1 + 2*10" true (Value.equal (f (tuple 1 2 3)) (Value.Int 21))
+
+let test_columns () =
+  let e = col "r.a" =% col "s.a" &&% (col "r.a" >% int 0) in
+  Alcotest.(check (list string)) "columns dedup in order" [ "r.a"; "s.a" ] (Expr.columns e)
+
+let test_conjuncts_roundtrip () =
+  let e = col "r.a" =% int 1 &&% (col "r.b" =% int 2) &&% (col "s.a" =% int 3) in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (Expr.conjuncts e));
+  Alcotest.(check int) "true_ has none" 0 (List.length (Expr.conjuncts true_));
+  Alcotest.(check bool) "conjoin [] = true" true (Expr.equal (Expr.conjoin []) true_)
+
+let test_conjoin_canonical () =
+  let a = col "r.a" =% int 1 and b = col "r.b" =% int 2 in
+  Alcotest.(check bool) "order-insensitive" true
+    (Expr.equal (Expr.conjoin [ a; b ]) (Expr.conjoin [ b; a ]));
+  Alcotest.(check bool) "duplicate-insensitive" true
+    (Expr.equal (Expr.conjoin [ a; a; b ]) (Expr.conjoin [ a; b ]))
+
+let test_equijoin_keys () =
+  let left = Schema.project schema [ "r.a"; "r.b" ] in
+  let right = Schema.project schema [ "s.a" ] in
+  let keys = Expr.equijoin_keys (col "r.a" =% col "s.a") ~left ~right in
+  Alcotest.(check (list (pair string string))) "keys" [ ("r.a", "s.a") ] keys;
+  let flipped = Expr.equijoin_keys (col "s.a" =% col "r.b") ~left ~right in
+  Alcotest.(check (list (pair string string))) "flipped sides" [ ("r.b", "s.a") ] flipped;
+  let none = Expr.equijoin_keys (col "r.a" =% col "r.b") ~left ~right in
+  Alcotest.(check int) "same-side equality is not a join key" 0 (List.length none);
+  let range = Expr.equijoin_keys (col "r.a" <% col "s.a") ~left ~right in
+  Alcotest.(check int) "inequality is not a key" 0 (List.length range)
+
+let test_refers_only_to () =
+  let left = Schema.project schema [ "r.a"; "r.b" ] in
+  Alcotest.(check bool) "within" true (Expr.refers_only_to left (col "r.a" >% int 0));
+  Alcotest.(check bool) "outside" false (Expr.refers_only_to left (col "s.a" >% int 0))
+
+(* Random predicate generator over the fixed schema, for property tests. *)
+let rec pred_gen depth =
+  QCheck.Gen.(
+    let atom =
+      let* c = oneofl [ "r.a"; "r.b"; "s.a" ] in
+      let* k = int_range (-5) 5 in
+      let* op = oneofl [ Eq; Ne; Lt; Le; Gt; Ge ] in
+      return (Cmp (op, Col c, Const (Value.Int k)))
+    in
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (1, map2 (fun a b -> And (a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1)));
+          (1, map2 (fun a b -> Or (a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1)));
+          (1, map (fun a -> Not a) (pred_gen (depth - 1)));
+        ])
+
+let pred_arb = QCheck.make ~print:Expr.to_string (pred_gen 3)
+
+let tuple_gen =
+  QCheck.Gen.(
+    let* a = int_range (-5) 5 and* b = int_range (-5) 5 and* c = int_range (-5) 5 in
+    return (tuple a b c))
+
+let tuple_arb = QCheck.make ~print:(Format.asprintf "%a" Tuple.pp) tuple_gen
+
+let prop_conjoin_preserves_semantics =
+  Helpers.qcheck_case "conjoin(conjuncts e) == e under eval"
+    (QCheck.pair pred_arb tuple_arb)
+    (fun (e, t) ->
+      let e' = Expr.conjoin (Expr.conjuncts e) in
+      Expr.eval_pred schema e t = Expr.eval_pred schema e' t)
+
+let prop_not_not =
+  Helpers.qcheck_case "eval(not (not e)) == eval e"
+    (QCheck.pair pred_arb tuple_arb)
+    (fun (e, t) ->
+      Expr.eval_pred schema (Not (Not e)) t = Expr.eval_pred schema e t)
+
+let prop_and_commutative =
+  Helpers.qcheck_case "AND commutative under eval"
+    (QCheck.triple pred_arb pred_arb tuple_arb)
+    (fun (a, b, t) ->
+      Expr.eval_pred schema (And (a, b)) t = Expr.eval_pred schema (And (b, a)) t)
+
+let suite =
+  [
+    Alcotest.test_case "comparisons" `Quick test_eval_comparisons;
+    Alcotest.test_case "null semantics" `Quick test_null_semantics;
+    Alcotest.test_case "arithmetic eval" `Quick test_arith_eval;
+    Alcotest.test_case "columns" `Quick test_columns;
+    Alcotest.test_case "conjuncts roundtrip" `Quick test_conjuncts_roundtrip;
+    Alcotest.test_case "conjoin canonical" `Quick test_conjoin_canonical;
+    Alcotest.test_case "equijoin keys" `Quick test_equijoin_keys;
+    Alcotest.test_case "refers_only_to" `Quick test_refers_only_to;
+    prop_conjoin_preserves_semantics;
+    prop_not_not;
+    prop_and_commutative;
+  ]

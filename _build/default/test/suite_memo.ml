@@ -1,0 +1,168 @@
+(* Tests of the memo structure: expression deduplication, equivalence
+   class merging (union-find), winner tables. Driven through a
+   relational model instance. *)
+
+open Relalg
+
+let catalog = Helpers.small_catalog ()
+
+module M = (val Relmodel.Rel_model.make ~catalog ())
+module S = Volcano.Search.Make (M)
+module Memo = S.Memo
+
+let new_memo () = Memo.create (Volcano.Search_stats.create ())
+
+let get t = Logical.Get t
+
+let join p = Logical.Join p
+
+let test_insert_dedup () =
+  let m = new_memo () in
+  let g1 = Memo.insert m (get "r") [] in
+  let g2 = Memo.insert m (get "r") [] in
+  Alcotest.(check int) "same group" g1 g2;
+  Alcotest.(check int) "one group" 1 (Memo.n_groups m);
+  Alcotest.(check int) "one mexpr" 1 (Memo.n_mexprs m);
+  let g3 = Memo.insert m (get "s") [] in
+  Alcotest.(check bool) "different table, different group" true (g1 <> g3)
+
+let test_insert_into_target () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let gs = Memo.insert m (get "s") [] in
+  let pred = Expr.(col "r.a" =% col "s.a") in
+  let gj = Memo.insert m (join pred) [ gr; gs ] in
+  (* The commuted expression belongs to the same class. *)
+  let gj' = Memo.insert m ~target:gj (join pred) [ gs; gr ] in
+  Alcotest.(check int) "same class" (Memo.find_root m gj) (Memo.find_root m gj');
+  Alcotest.(check int) "two join mexprs in class" 2
+    (List.length (Memo.mexprs m gj))
+
+let test_merge_via_duplicate_derivation () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let gs = Memo.insert m (get "s") [] in
+  let pred = Expr.(col "r.a" =% col "s.a") in
+  (* Derive the same expression in two separate classes, then prove
+     them equal by inserting one's expression into the other. *)
+  let g1 = Memo.insert m (join pred) [ gr; gs ] in
+  let g2 = Memo.insert m (join pred) [ gs; gr ] in
+  Alcotest.(check bool) "initially separate" true (Memo.find_root m g1 <> Memo.find_root m g2);
+  let merged = Memo.insert m ~target:g2 (join pred) [ gr; gs ] in
+  Alcotest.(check int) "merged root" (Memo.find_root m g1) (Memo.find_root m merged);
+  Alcotest.(check int) "g2 merged too" (Memo.find_root m g1) (Memo.find_root m g2);
+  Alcotest.(check int) "both mexprs survive" 2 (List.length (Memo.mexprs m g1))
+
+let test_merge_reindexes_parents () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let gs = Memo.insert m (get "s") [] in
+  let gt = Memo.insert m (get "t") [] in
+  let p1 = Expr.(col "r.a" =% col "s.a") in
+  let g1 = Memo.insert m (join p1) [ gr; gs ] in
+  let g2 = Memo.insert m (join p1) [ gs; gr ] in
+  (* Parents over both classes. *)
+  let p2 = Expr.(col "s.c" =% col "t.c") in
+  let top1 = Memo.insert m (join p2) [ g1; gt ] in
+  let top2 = Memo.insert m (join p2) [ g2; gt ] in
+  Alcotest.(check bool) "tops separate" true (Memo.find_root m top1 <> Memo.find_root m top2);
+  (* Merging the children must fold the parents too: after g1 = g2,
+     JOIN(p2, g1, t) and JOIN(p2, g2, t) spell the same expression. *)
+  ignore (Memo.insert m ~target:g2 (join p1) [ gr; gs ]);
+  Alcotest.(check int) "parents merged transitively" (Memo.find_root m top1)
+    (Memo.find_root m top2)
+
+let test_lprops_derived_once () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let props = Memo.lprops m gr in
+  Alcotest.(check (float 0.)) "card from catalog" 60. props.Logical_props.card;
+  let gsel = Memo.insert m (Logical.Select Expr.(col "r.a" =% int 3)) [ gr ] in
+  let sprops = Memo.lprops m gsel in
+  Alcotest.(check bool) "selection reduces card" true
+    (sprops.Logical_props.card < props.Logical_props.card)
+
+let test_winner_table () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let key = (Phys_prop.any, None) in
+  Alcotest.(check bool) "empty at first" true (Memo.winner m gr key = None);
+  let plan =
+    {
+      Memo.p_alg = Physical.Table_scan "r";
+      p_inputs = [];
+      p_props = Phys_prop.any;
+      p_cost = Cost.make ~io:1. ~cpu:0.;
+    }
+  in
+  Memo.set_winner m gr key (Some plan) Cost.infinite;
+  (match Memo.winner m gr key with
+   | Some { w_plan = Some p; _ } ->
+     Alcotest.(check bool) "stored plan" true (p.Memo.p_alg = Physical.Table_scan "r")
+   | _ -> Alcotest.fail "winner not stored");
+  (* Distinct goals are distinct entries. *)
+  let key2 = (Phys_prop.sorted (Sort_order.asc [ "r.a" ]), None) in
+  Alcotest.(check bool) "other goal empty" true (Memo.winner m gr key2 = None);
+  (* The excluding vector is part of the goal identity. *)
+  let key3 = (Phys_prop.any, Some (Phys_prop.sorted (Sort_order.asc [ "r.a" ]))) in
+  Alcotest.(check bool) "excluded variant empty" true (Memo.winner m gr key3 = None)
+
+let test_in_progress_marks () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let key = (Phys_prop.any, None) in
+  Alcotest.(check bool) "not in progress" false (Memo.in_progress m gr key);
+  Memo.mark_in_progress m gr key;
+  Alcotest.(check bool) "marked" true (Memo.in_progress m gr key);
+  Memo.unmark_in_progress m gr key;
+  Alcotest.(check bool) "unmarked" false (Memo.in_progress m gr key)
+
+let test_extract_any () =
+  let m = new_memo () in
+  let gr = Memo.insert m (get "r") [] in
+  let gsel = Memo.insert m (Logical.Select Expr.(col "r.a" =% int 3)) [ gr ] in
+  let tree = Memo.extract_any m gsel in
+  Alcotest.(check int) "tree size" 2 (Volcano.Tree.size tree)
+
+(* Property: after a random interleaving of inserts (with and without
+   targets), every (op, canonical inputs) key lives in exactly one root
+   group, and mexpr counts never exceed distinct insertions. *)
+let prop_insert_unique_home =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 30) (pair (oneofl [ "r"; "s"; "t" ]) (int_range 0 2)))
+  in
+  let arb = QCheck.make gen in
+  Helpers.qcheck_case ~count:50 "memo: one home per expression" arb (fun actions ->
+      let m = new_memo () in
+      let groups = ref [] in
+      List.iter
+        (fun (t, mode) ->
+          let g = Memo.insert m (get t) [] in
+          groups := g :: !groups;
+          match mode, !groups with
+          | 0, _ -> ()
+          | _, a :: b :: _ when a <> b ->
+            (* Join over two existing groups, twice with swapped inputs. *)
+            let pred = Expr.true_ in
+            let g1 = Memo.insert m (join pred) [ a; b ] in
+            ignore (Memo.insert m ~target:g1 (join pred) [ b; a ])
+          | _, _ -> ())
+        actions;
+      (* Re-inserting any already-present expression must return its
+         root and create nothing new. *)
+      let before = Memo.n_mexprs m in
+      List.iter (fun (t, _) -> ignore (Memo.insert m (get t) [])) actions;
+      Memo.n_mexprs m = before)
+
+let suite =
+  [
+    Alcotest.test_case "insert dedup" `Quick test_insert_dedup;
+    Alcotest.test_case "insert into target" `Quick test_insert_into_target;
+    Alcotest.test_case "merge on duplicate derivation" `Quick test_merge_via_duplicate_derivation;
+    Alcotest.test_case "merge reindexes parents" `Quick test_merge_reindexes_parents;
+    Alcotest.test_case "logical props derived once" `Quick test_lprops_derived_once;
+    Alcotest.test_case "winner table per goal" `Quick test_winner_table;
+    Alcotest.test_case "in-progress marks" `Quick test_in_progress_marks;
+    Alcotest.test_case "extract_any" `Quick test_extract_any;
+    prop_insert_unique_home;
+  ]

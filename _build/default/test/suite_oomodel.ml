@@ -1,0 +1,155 @@
+(* Tests of the object-algebra model: the generator applied to a second
+   data model (data-model independence), assembledness as a physical
+   property with two enforcers, and the materialize rules. *)
+
+open Oomodel.Oo_algebra
+
+let store : store =
+  [
+    {
+      cname = "emp";
+      extent_size = 10_000.;
+      object_bytes = 120;
+      references = [ ("dept", "dept"); ("manager", "emp") ];
+    };
+    { cname = "dept"; extent_size = 200.; object_bytes = 80; references = [ ("floor", "room") ] };
+    { cname = "room"; extent_size = 40.; object_bytes = 60; references = [] };
+  ]
+
+let node = Volcano.Tree.node
+
+let extent c = node (Extent c) []
+
+let test_valid_path () =
+  Alcotest.(check bool) "one step" true (valid_path store ~root:"emp" [ "dept" ]);
+  Alcotest.(check bool) "two steps" true (valid_path store ~root:"emp" [ "dept"; "floor" ]);
+  Alcotest.(check bool) "self reference" true (valid_path store ~root:"emp" [ "manager"; "dept" ]);
+  Alcotest.(check bool) "bad step" false (valid_path store ~root:"emp" [ "floor" ]);
+  Alcotest.(check bool) "beyond a leaf class" false
+    (valid_path store ~root:"emp" [ "dept"; "floor"; "dept" ])
+
+let test_path_set_covers () =
+  let s1 = Path_set.of_list [ [ "dept" ]; [ "manager" ] ] in
+  let s2 = Path_set.of_list [ [ "dept" ] ] in
+  Alcotest.(check bool) "superset covers" true (phys_covers ~provided:s1 ~required:s2);
+  Alcotest.(check bool) "subset does not" false (phys_covers ~provided:s2 ~required:s1)
+
+let optimize ?params query ~required = Oomodel.Oo_model.optimize ~store ?params query ~required
+
+let test_extent_scan () =
+  let result = optimize (extent "emp") ~required:Path_set.empty in
+  match result.plan with
+  | Some { alg = Extent_scan "emp"; _ } -> ()
+  | _ -> Alcotest.fail "expected a bare extent scan"
+
+let test_filter_requires_assembly () =
+  (* A filter over a path expression forces the path to be assembled
+     below it. *)
+  let query = node (O_select ([ "dept" ], 0.1)) [ extent "emp" ] in
+  let result = optimize query ~required:Path_set.empty in
+  match result.plan with
+  | Some { alg = O_filter _; children = [ child ]; _ } -> begin
+    match child.alg with
+    | Assembly ps | Pointer_chase ps ->
+      Alcotest.(check bool) "dept assembled below filter" true (List.mem [ "dept" ] ps)
+    | _ -> Alcotest.fail "expected an assembledness enforcer below the filter"
+  end
+  | _ -> Alcotest.fail "expected a filter at the root"
+
+let test_assembly_vs_chase_by_cardinality () =
+  let query = node (O_select ([ "dept" ], 0.1)) [ extent "emp" ] in
+  (* Large extent: batching wins. *)
+  let big = optimize query ~required:Path_set.empty in
+  let rec algs (p : Oomodel.Oo_model.plan_node) =
+    p.alg :: List.concat_map algs p.children
+  in
+  let has_assembly p = List.exists (function Assembly _ -> true | _ -> false) (algs p) in
+  let has_chase p = List.exists (function Pointer_chase _ -> true | _ -> false) (algs p) in
+  (match big.plan with
+   | Some p -> Alcotest.(check bool) "assembly on a 10k extent" true (has_assembly p)
+   | None -> Alcotest.fail "no plan");
+  (* Tiny extent: the navigational chase wins. *)
+  let small_store =
+    List.map (fun c -> if c.cname = "emp" then { c with extent_size = 20. } else c) store
+  in
+  let small = Oomodel.Oo_model.optimize ~store:small_store query ~required:Path_set.empty in
+  match small.plan with
+  | Some p -> Alcotest.(check bool) "chase on a 20-object extent" true (has_chase p)
+  | None -> Alcotest.fail "no plan"
+
+let test_required_assembledness_at_root () =
+  let required = Path_set.of_list [ [ "dept" ]; [ "manager" ] ] in
+  let result = optimize (extent "emp") ~required in
+  match result.plan with
+  | Some p ->
+    Alcotest.(check bool) "promised props cover requirement" true
+      (phys_covers ~provided:p.props ~required)
+  | None -> Alcotest.fail "no plan"
+
+let test_materialize_implementations () =
+  let query = node (Materialize [ [ "dept" ] ]) [ extent "emp" ] in
+  let result = optimize query ~required:Path_set.empty in
+  match result.plan with
+  | Some { alg = Assembly ps | Pointer_chase ps; _ } ->
+    Alcotest.(check bool) "materializes dept" true (List.mem [ "dept" ] ps)
+  | _ -> Alcotest.fail "expected chase or assembly implementing materialize"
+
+let test_materialize_merge_rule () =
+  (* MAT(p1, MAT(p2, x)) should collapse into one operator when that is
+     cheaper (one assembly setup instead of two). *)
+  let query =
+    node (Materialize [ [ "dept" ] ]) [ node (Materialize [ [ "manager" ] ]) [ extent "emp" ] ]
+  in
+  let result = optimize query ~required:Path_set.empty in
+  match result.plan with
+  | Some { alg = Assembly ps; children = [ { alg = Extent_scan _; _ } ]; _ } ->
+    Alcotest.(check int) "both paths in one assembly" 2 (List.length ps)
+  | Some p -> Alcotest.fail ("expected one merged assembly, got:\n" ^ Oomodel.Oo_model.explain p)
+  | None -> Alcotest.fail "no plan"
+
+let test_filter_pushed_below_materialize () =
+  (* Filtering first shrinks the assembly's input: the commute rules
+     must let the optimizer reorder select and materialize. *)
+  let query =
+    node (Materialize [ [ "manager" ] ]) [ node (O_select ([ "dept" ], 0.01)) [ extent "emp" ] ]
+  in
+  let result = optimize query ~required:Path_set.empty in
+  match result.plan with
+  | None -> Alcotest.fail "no plan"
+  | Some p ->
+    (* The manager materialization must sit above the filter (cheaper on
+       1% of objects) — i.e. the root materializes and its child
+       filters. *)
+    let rec top_is_materialize_over_filter (n : Oomodel.Oo_model.plan_node) =
+      match n.alg, n.children with
+      | (Assembly ps | Pointer_chase ps), [ c ] when List.mem [ "manager" ] ps -> begin
+        match c.alg with
+        | O_filter _ -> true
+        | _ -> false
+      end
+      | _, [ c ] -> top_is_materialize_over_filter c
+      | _, _ -> false
+    in
+    Alcotest.(check bool)
+      ("manager assembled after filtering:\n" ^ Oomodel.Oo_model.explain p)
+      true
+      (top_is_materialize_over_filter p)
+
+let test_search_stats () =
+  let query = node (O_select ([ "dept" ], 0.1)) [ extent "emp" ] in
+  let result = optimize query ~required:Path_set.empty in
+  Alcotest.(check bool) "enforcer moves used" true (result.stats.enforcer_moves > 0)
+
+let suite =
+  [
+    Alcotest.test_case "valid_path" `Quick test_valid_path;
+    Alcotest.test_case "path-set cover" `Quick test_path_set_covers;
+    Alcotest.test_case "extent scan" `Quick test_extent_scan;
+    Alcotest.test_case "filter requires assembledness" `Quick test_filter_requires_assembly;
+    Alcotest.test_case "assembly vs chase" `Quick test_assembly_vs_chase_by_cardinality;
+    Alcotest.test_case "root assembledness requirement" `Quick test_required_assembledness_at_root;
+    Alcotest.test_case "materialize implementations" `Quick test_materialize_implementations;
+    Alcotest.test_case "materialize merge" `Quick test_materialize_merge_rule;
+    Alcotest.test_case "filter pushed below materialize" `Quick test_filter_pushed_below_materialize;
+    Alcotest.test_case "search stats" `Quick test_search_stats;
+  ]

@@ -1,0 +1,58 @@
+(* Unit tests for Relalg.Schema and Relalg.Tuple. *)
+
+open Relalg
+
+let schema : Schema.t =
+  [|
+    Schema.attribute "emp.id" Schema.TInt;
+    Schema.attribute "emp.name" Schema.TStr;
+    Schema.attribute "dept.id" Schema.TInt;
+  |]
+
+let test_qualify () =
+  Alcotest.(check string) "qualify" "emp.salary" (Schema.qualify "emp" "salary");
+  Alcotest.(check string) "base name" "salary" (Schema.base_name "emp.salary");
+  Alcotest.(check string) "base of unqualified" "salary" (Schema.base_name "salary")
+
+let test_index_of () =
+  Alcotest.(check int) "exact" 0 (Schema.index_of schema "emp.id");
+  Alcotest.(check int) "unqualified unique" 1 (Schema.index_of schema "name");
+  Alcotest.check_raises "ambiguous unqualified" Not_found (fun () ->
+      ignore (Schema.index_of schema "id"));
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Schema.index_of schema "nope"))
+
+let test_resolve () =
+  Alcotest.(check string) "resolve unqualified" "emp.name" (Schema.resolve schema "name")
+
+let test_project_and_concat () =
+  let p = Schema.project schema [ "dept.id"; "emp.id" ] in
+  Alcotest.(check (list string)) "projected order" [ "dept.id"; "emp.id" ] (Schema.names p);
+  let c = Schema.concat p [| Schema.attribute "x" Schema.TFloat |] in
+  Alcotest.(check int) "concat length" 3 (Array.length c)
+
+let test_row_width () =
+  Alcotest.(check int) "width" (8 + 24 + 8) (Schema.row_width schema)
+
+let test_tuple_ops () =
+  let t : Tuple.t = [| Value.Int 1; Value.Str "a"; Value.Int 9 |] in
+  let p = Tuple.project schema [ "dept.id" ] t in
+  Alcotest.(check bool) "project picks value" true (Value.equal p.(0) (Value.Int 9));
+  let u : Tuple.t = [| Value.Int 1; Value.Str "a"; Value.Int 9 |] in
+  Alcotest.(check bool) "tuple equal" true (Tuple.equal t u);
+  Alcotest.(check int) "tuple hash equal" (Tuple.hash t) (Tuple.hash u);
+  let v : Tuple.t = [| Value.Int 2; Value.Str "a"; Value.Int 9 |] in
+  Alcotest.(check int) "compare by emp.id asc" (-1)
+    (Tuple.compare_by schema [ ("emp.id", `Asc) ] t v);
+  Alcotest.(check int) "compare by emp.id desc" 1
+    (Tuple.compare_by schema [ ("emp.id", `Desc) ] t v)
+
+let suite =
+  [
+    Alcotest.test_case "qualify/base_name" `Quick test_qualify;
+    Alcotest.test_case "index_of" `Quick test_index_of;
+    Alcotest.test_case "resolve" `Quick test_resolve;
+    Alcotest.test_case "project/concat" `Quick test_project_and_concat;
+    Alcotest.test_case "row width" `Quick test_row_width;
+    Alcotest.test_case "tuple operations" `Quick test_tuple_ops;
+  ]

@@ -1,0 +1,97 @@
+(* Unit and property tests for sort orders and physical property
+   vectors. *)
+
+open Relalg
+
+let order_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 3)
+      (pair (oneofl [ "a"; "b"; "c"; "d" ]) (oneofl [ Sort_order.Asc; Sort_order.Desc ])))
+
+let order_arb = QCheck.make ~print:Sort_order.to_string order_gen
+
+let test_covers_prefix () =
+  let ab = Sort_order.asc [ "a"; "b" ] in
+  let a = Sort_order.asc [ "a" ] in
+  Alcotest.(check bool) "longer covers prefix" true (Sort_order.covers ~provided:ab ~required:a);
+  Alcotest.(check bool) "prefix does not cover longer" false
+    (Sort_order.covers ~provided:a ~required:ab);
+  Alcotest.(check bool) "anything covers empty" true (Sort_order.covers ~provided:[] ~required:[]);
+  Alcotest.(check bool) "direction matters" false
+    (Sort_order.covers ~provided:[ ("a", Sort_order.Desc) ] ~required:a)
+
+let test_is_sorted () =
+  let schema = [| Schema.attribute "a" Schema.TInt |] in
+  let sorted = [| [| Value.Int 1 |]; [| Value.Int 2 |]; [| Value.Int 2 |] |] in
+  let unsorted = [| [| Value.Int 3 |]; [| Value.Int 1 |] |] in
+  Alcotest.(check bool) "sorted" true (Sort_order.is_sorted schema (Sort_order.asc [ "a" ]) sorted);
+  Alcotest.(check bool) "unsorted" false
+    (Sort_order.is_sorted schema (Sort_order.asc [ "a" ]) unsorted);
+  Alcotest.(check bool) "desc view" true
+    (Sort_order.is_sorted schema [ ("a", Sort_order.Desc) ] unsorted)
+
+let prop_covers_reflexive =
+  Helpers.qcheck_case "covers reflexive" order_arb (fun o ->
+      Sort_order.covers ~provided:o ~required:o)
+
+let prop_covers_transitive =
+  Helpers.qcheck_case "covers transitive"
+    (QCheck.triple order_arb order_arb order_arb)
+    (fun (a, b, c) ->
+      (not (Sort_order.covers ~provided:a ~required:b && Sort_order.covers ~provided:b ~required:c))
+      || Sort_order.covers ~provided:a ~required:c)
+
+let prop_covers_empty =
+  Helpers.qcheck_case "empty requirement always covered" order_arb (fun o ->
+      Sort_order.covers ~provided:o ~required:[])
+
+(* Physical property vectors inherit the same laws. *)
+
+let phys_gen =
+  QCheck.Gen.(
+    let* order = order_gen
+    and* distinct = bool
+    and* partitioning =
+      oneof
+        [
+          return Phys_prop.Any_part;
+          return Phys_prop.Singleton;
+          map (fun c -> Phys_prop.Hashed [ c ]) (oneofl [ "a"; "b" ]);
+        ]
+    in
+    return { Phys_prop.order; distinct; partitioning })
+
+let phys_arb = QCheck.make ~print:Phys_prop.to_string phys_gen
+
+let prop_phys_covers_reflexive =
+  Helpers.qcheck_case "phys covers reflexive" phys_arb (fun p ->
+      Phys_prop.covers ~provided:p ~required:p)
+
+let prop_phys_covers_transitive =
+  Helpers.qcheck_case "phys covers transitive"
+    (QCheck.triple phys_arb phys_arb phys_arb)
+    (fun (a, b, c) ->
+      (not (Phys_prop.covers ~provided:a ~required:b && Phys_prop.covers ~provided:b ~required:c))
+      || Phys_prop.covers ~provided:a ~required:c)
+
+let prop_phys_any_bottom =
+  Helpers.qcheck_case "any is covered by everything" phys_arb (fun p ->
+      Phys_prop.covers ~provided:p ~required:Phys_prop.any)
+
+let prop_phys_hash_equal =
+  Helpers.qcheck_case "equal vectors hash equal"
+    (QCheck.pair phys_arb phys_arb)
+    (fun (a, b) -> (not (Phys_prop.equal a b)) || Phys_prop.hash a = Phys_prop.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "covers is prefix" `Quick test_covers_prefix;
+    Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+    prop_covers_reflexive;
+    prop_covers_transitive;
+    prop_covers_empty;
+    prop_phys_covers_reflexive;
+    prop_phys_covers_transitive;
+    prop_phys_any_bottom;
+    prop_phys_hash_equal;
+  ]

@@ -1,0 +1,133 @@
+(* Tests for column statistics and selectivity estimation. *)
+
+open Relalg
+
+let schema : Schema.t =
+  [| Schema.attribute "t.k" Schema.TInt; Schema.attribute "t.v" Schema.TInt |]
+
+(* 100 rows: k = 0..99 (unique), v = k mod 10 (10 distinct). *)
+let tuples = Array.init 100 (fun i -> [| Value.Int i; Value.Int (i mod 10) |])
+
+let stats = Catalog.Stats.of_tuples schema tuples
+
+let test_row_count () = Alcotest.(check (float 0.)) "rows" 100. stats.row_count
+
+let test_distincts () =
+  let k = Option.get (Catalog.Stats.column stats "t.k") in
+  let v = Option.get (Catalog.Stats.column stats "t.v") in
+  Alcotest.(check (float 0.)) "k distinct" 100. k.n_distinct;
+  Alcotest.(check (float 0.)) "v distinct" 10. v.n_distinct
+
+let test_min_max () =
+  let k = Option.get (Catalog.Stats.column stats "t.k") in
+  Alcotest.(check bool) "min" true (k.min_value = Some (Value.Int 0));
+  Alcotest.(check bool) "max" true (k.max_value = Some (Value.Int 99))
+
+let test_nulls () =
+  let with_nulls =
+    Array.append tuples [| [| Value.Null; Value.Int 1 |]; [| Value.Null; Value.Null |] |]
+  in
+  let s = Catalog.Stats.of_tuples schema with_nulls in
+  let k = Option.get (Catalog.Stats.column s "t.k") in
+  Alcotest.(check (float 0.)) "null count" 2. k.null_count;
+  Alcotest.(check (float 0.)) "distinct excludes nulls" 100. k.n_distinct
+
+let test_histogram_fraction () =
+  let k = Option.get (Catalog.Stats.column stats "t.k") in
+  let h = Option.get k.histogram in
+  let half = Catalog.Stats.histogram_fraction h ~lo:None ~hi:(Some 49.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half below 49.5 (got %.3f)" half)
+    true
+    (half > 0.4 && half < 0.6);
+  let all = Catalog.Stats.histogram_fraction h ~lo:None ~hi:None in
+  Alcotest.(check bool) "full range is everything" true (all > 0.99)
+
+(* Selectivity estimation against known data. *)
+
+let props =
+  Logical_props.make ~schema ~card:100.
+    ~distincts:[ ("t.k", 100.); ("t.v", 10.) ]
+    ~ranges:[ ("t.k", (0., 99.)); ("t.v", (0., 9.)) ]
+    ()
+
+let test_equality_selectivity () =
+  let open Expr in
+  Alcotest.(check (float 1e-9)) "1/distinct on key" 0.01
+    (Catalog.Selectivity.predicate props (col "t.k" =% int 5));
+  Alcotest.(check (float 1e-9)) "1/distinct on v" 0.1
+    (Catalog.Selectivity.predicate props (col "t.v" =% int 5))
+
+let test_range_selectivity () =
+  let open Expr in
+  let s = Catalog.Selectivity.predicate props (col "t.k" <% int 50) in
+  Alcotest.(check bool) (Printf.sprintf "range about half (got %.3f)" s) true
+    (s > 0.4 && s < 0.6);
+  let s2 = Catalog.Selectivity.predicate props (int 50 >% col "t.k") in
+  Alcotest.(check (float 1e-9)) "flipped constant side" s s2
+
+let test_conjunction_independence () =
+  let open Expr in
+  let s =
+    Catalog.Selectivity.predicate props (col "t.k" =% int 5 &&% (col "t.v" =% int 5))
+  in
+  Alcotest.(check (float 1e-9)) "product" 0.001 s
+
+let test_negation () =
+  let open Expr in
+  let s = Catalog.Selectivity.predicate props (Expr.Not (col "t.v" =% int 5)) in
+  Alcotest.(check (float 1e-9)) "1 - s" 0.9 s
+
+let test_join_selectivity () =
+  let other =
+    Logical_props.make
+      ~schema:[| Schema.attribute "u.v" Schema.TInt |]
+      ~card:50. ~distincts:[ ("u.v", 25.) ] ()
+  in
+  let open Expr in
+  let s = Catalog.Selectivity.join ~left:props ~right:other (col "t.v" =% col "u.v") in
+  Alcotest.(check (float 1e-9)) "1/max(d1,d2)" (1. /. 25.) s;
+  let cartesian = Catalog.Selectivity.join ~left:props ~right:other Expr.true_ in
+  Alcotest.(check (float 1e-9)) "cartesian" 1. cartesian
+
+let test_selectivity_clamped () =
+  let open Expr in
+  let s = Catalog.Selectivity.predicate props (Expr.Const (Value.Bool false)) in
+  Alcotest.(check (float 0.)) "false predicate" 0. s;
+  let s1 = Catalog.Selectivity.predicate props Expr.true_ in
+  Alcotest.(check (float 0.)) "true predicate" 1. s1;
+  ignore col
+
+(* Estimates on real synthetic data should be in the right ballpark. *)
+let test_estimate_vs_actual () =
+  let catalog = Helpers.small_catalog () in
+  let table = Catalog.find catalog "r" in
+  let base = Catalog.base_props table in
+  let open Expr in
+  let pred = col "r.a" =% int 3 in
+  let est = Catalog.Selectivity.predicate base pred in
+  let actual =
+    Float.of_int
+      (Array.length (Array.of_seq (Seq.filter (Expr.eval_pred table.schema pred) (Array.to_seq table.tuples))))
+    /. Float.of_int (Array.length table.tuples)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.3f within 3x of actual %.3f" est actual)
+    true
+    (est < 3. *. actual +. 0.05 && actual < 3. *. est +. 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "row count" `Quick test_row_count;
+    Alcotest.test_case "distinct counts" `Quick test_distincts;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "null accounting" `Quick test_nulls;
+    Alcotest.test_case "histogram fractions" `Quick test_histogram_fraction;
+    Alcotest.test_case "equality selectivity" `Quick test_equality_selectivity;
+    Alcotest.test_case "range selectivity" `Quick test_range_selectivity;
+    Alcotest.test_case "conjunction independence" `Quick test_conjunction_independence;
+    Alcotest.test_case "negation" `Quick test_negation;
+    Alcotest.test_case "join selectivity" `Quick test_join_selectivity;
+    Alcotest.test_case "clamping" `Quick test_selectivity_clamped;
+    Alcotest.test_case "estimate vs actual" `Quick test_estimate_vs_actual;
+  ]

@@ -1,0 +1,98 @@
+(* Tests of the paper-workload generator. *)
+
+open Relalg
+
+let test_reproducible () =
+  let spec = Workload.spec ~n_relations:4 ~seed:9 () in
+  let q1 = Workload.generate spec in
+  let q2 = Workload.generate spec in
+  Alcotest.(check bool) "same logical query" true (Logical.equal q1.logical q2.logical);
+  let t1 = Catalog.find q1.catalog "rel0" and t2 = Catalog.find q2.catalog "rel0" in
+  Alcotest.(check int) "same data" (Array.length t1.tuples) (Array.length t2.tuples);
+  Alcotest.(check bool) "same first tuple" true (Tuple.equal t1.tuples.(0) t2.tuples.(0))
+
+let test_different_seeds_differ () =
+  let q1 = Workload.generate (Workload.spec ~n_relations:4 ~seed:9 ()) in
+  let q2 = Workload.generate (Workload.spec ~n_relations:4 ~seed:10 ()) in
+  Alcotest.(check bool) "different queries" false (Logical.equal q1.logical q2.logical)
+
+let test_paper_parameters () =
+  let q = Workload.generate (Workload.spec ~n_relations:5 ~seed:1 ()) in
+  Alcotest.(check int) "five relations" 5 (List.length q.relations);
+  List.iter
+    (fun name ->
+      let t = Catalog.find q.catalog name in
+      let rows = Array.length t.tuples in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has 1200..7200 rows (%d)" name rows)
+        true
+        (rows >= 1_200 && rows <= 7_200);
+      Alcotest.(check int)
+        (Printf.sprintf "%s rows are 100 bytes" name)
+        100 (Schema.row_width t.schema))
+    q.relations
+
+let count_ops pred q =
+  let rec go (e : Logical.expr) =
+    (if pred e.Logical.op then 1 else 0)
+    + List.fold_left (fun acc i -> acc + go i) 0 e.Logical.inputs
+  in
+  go q
+
+let test_selections_per_relation () =
+  (* "as many selections as input relations" (§4.2) *)
+  let q = Workload.generate (Workload.spec ~n_relations:6 ~seed:2 ()) in
+  let selects =
+    count_ops (function Logical.Select _ -> true | _ -> false) q.logical
+  in
+  Alcotest.(check int) "one selection per relation" 6 selects;
+  let joins = count_ops (function Logical.Join _ -> true | _ -> false) q.logical in
+  Alcotest.(check int) "n-1 joins" 5 joins
+
+let test_no_initial_cartesian () =
+  (* Every join in the generated spine carries at least one predicate. *)
+  List.iter
+    (fun shape ->
+      let q =
+        Workload.generate (Workload.spec ~shape ~n_relations:6 ~seed:3 ())
+      in
+      let rec go (e : Logical.expr) =
+        (match e.Logical.op with
+         | Logical.Join p ->
+           Alcotest.(check bool) "join has a predicate" true (Expr.conjuncts p <> [])
+         | _ -> ());
+        List.iter go e.Logical.inputs
+      in
+      go q.logical)
+    [ Workload.Chain; Workload.Star; Workload.Random_acyclic ]
+
+let test_batch_seeds_distinct () =
+  let qs = Workload.generate_batch (Workload.spec ~n_relations:3 ~seed:4 ()) ~count:5 in
+  Alcotest.(check int) "batch size" 5 (List.length qs);
+  let distinct =
+    List.sort_uniq compare
+      (List.map (fun (q : Workload.query) -> Logical.op_name q.logical.Logical.op) qs)
+  in
+  Alcotest.(check bool) "predicates vary across the batch" true (List.length distinct > 1)
+
+let test_all_shapes_optimizable () =
+  List.iter
+    (fun shape ->
+      let q = Workload.generate (Workload.spec ~shape ~n_relations:5 ~seed:5 ()) in
+      let r =
+        Relmodel.Optimizer.optimize (Relmodel.Optimizer.request q.catalog) q.logical
+          ~required:Phys_prop.any
+      in
+      Alcotest.(check bool) "plan found" true (r.plan <> None))
+    [ Workload.Chain; Workload.Star; Workload.Random_acyclic ]
+
+let suite =
+  [
+    Alcotest.test_case "reproducible" `Quick test_reproducible;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+    Alcotest.test_case "paper parameters" `Quick test_paper_parameters;
+    Alcotest.test_case "selections per relation" `Quick test_selections_per_relation;
+    Alcotest.test_case "no initial cartesian" `Quick test_no_initial_cartesian;
+    Alcotest.test_case "batch variety" `Quick test_batch_seeds_distinct;
+    Alcotest.test_case "all shapes optimizable" `Quick test_all_shapes_optimizable;
+  ]

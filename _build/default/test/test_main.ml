@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "volcano_opt"
+    [
+      ("value", Suite_value.suite);
+      ("schema", Suite_schema.suite);
+      ("expr", Suite_expr.suite);
+      ("sort_order", Suite_sort_order.suite);
+      ("stats", Suite_stats.suite);
+      ("volcano", Suite_volcano.suite);
+      ("memo", Suite_memo.suite);
+      ("search", Suite_search.suite);
+      ("relmodel", Suite_relmodel.suite);
+      ("executor", Suite_executor.suite);
+      ("access_paths", Suite_access_paths.suite);
+      ("parallel", Suite_parallel.suite);
+      ("dynplan", Suite_dynplan.suite);
+      ("session", Suite_session.suite);
+      ("exodus", Suite_exodus.suite);
+      ("sql", Suite_sql.suite);
+      ("workload", Suite_workload.suite);
+      ("oomodel", Suite_oomodel.suite);
+      ("e2e", Suite_e2e.suite);
+    ]
