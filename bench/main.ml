@@ -1,9 +1,9 @@
 (* Benchmark harness regenerating the paper's evaluation (Figure 4) and
-   the ablations A1-A9 of DESIGN.md.
+   the ablations A1-A10 of DESIGN.md.
 
      dune exec bench/main.exe            -- every experiment
      dune exec bench/main.exe -- f4      -- just Figure 4
-     dune exec bench/main.exe -- a1..a9  -- one ablation
+     dune exec bench/main.exe -- a1..a10 -- one ablation
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -127,9 +127,9 @@ let f4 ~full () =
 let a1 ~full () =
   header "A1  Memo deduplication (the hash table of expressions and classes)";
   Printf.printf
-    "  n | groups | mexprs | rule firings | class merges | goals | winner hits | hit rate\n";
+    "  n | groups | mexprs | rule firings | class merges | goals | winner hits | hit rate | tasks | stack hwm\n";
   Printf.printf
-    "  --+--------+--------+--------------+--------------+-------+-------------+---------\n";
+    "  --+--------+--------+--------------+--------------+-------+-------------+----------+-------+----------\n";
   let count = if full then 20 else 10 in
   List.iter
     (fun n ->
@@ -138,7 +138,7 @@ let a1 ~full () =
           (Workload.spec ~n_relations:n ~seed:(seed_base + (100 * n)) ())
           ~count
       in
-      let acc = Array.make 6 0. in
+      let acc = Array.make 8 0. in
       List.iter
         (fun (q : Workload.query) ->
           let r = volcano_optimize q ~required:Phys_prop.any in
@@ -148,13 +148,17 @@ let a1 ~full () =
           acc.(2) <- acc.(2) +. Float.of_int s.rule_firings;
           acc.(3) <- acc.(3) +. Float.of_int s.merges;
           acc.(4) <- acc.(4) +. Float.of_int s.goals;
-          acc.(5) <- acc.(5) +. Float.of_int s.goal_hits)
+          acc.(5) <- acc.(5) +. Float.of_int s.goal_hits;
+          acc.(6) <- acc.(6) +. Float.of_int s.tasks;
+          acc.(7) <- acc.(7) +. Float.of_int s.stack_hwm)
         queries;
       let c = Float.of_int count in
-      Printf.printf "  %d | %6.0f | %6.0f | %12.0f | %12.0f | %5.0f | %11.0f | %7.2f\n%!" n
-        (acc.(0) /. c) (acc.(1) /. c) (acc.(2) /. c) (acc.(3) /. c) (acc.(4) /. c)
+      Printf.printf
+        "  %d | %6.0f | %6.0f | %12.0f | %12.0f | %5.0f | %11.0f | %8.2f | %5.0f | %9.0f\n%!"
+        n (acc.(0) /. c) (acc.(1) /. c) (acc.(2) /. c) (acc.(3) /. c) (acc.(4) /. c)
         (acc.(5) /. c)
-        (acc.(5) /. (acc.(4) +. acc.(5))))
+        (acc.(5) /. (acc.(4) +. acc.(5)))
+        (acc.(6) /. c) (acc.(7) /. c))
     [ 3; 4; 5; 6; 7; 8 ]
 
 (* ------------------------------------------------------------------ *)
@@ -546,6 +550,65 @@ let a9 ~full () =
     (t_session *. 1000.) (t_fresh /. t_session)
 
 (* ------------------------------------------------------------------ *)
+(* A10: anytime optimization — plan quality under a task budget.       *)
+(* ------------------------------------------------------------------ *)
+
+let a10 ~full () =
+  header "A10  Anytime optimization (task budgets on the stepper loop)";
+  Printf.printf
+    "The task engine stops cleanly when its step budget runs out and returns\n\
+     the best complete plan found so far. Plan quality vs budget, as a\n\
+     geomean ratio over the exhaustive optimum ('-' = no plan yet).\n\n";
+  let n = 6 in
+  let count = if full then 20 else 10 in
+  let queries =
+    Workload.generate_batch
+      (Workload.spec ~shape:Workload.Chain ~n_relations:n ~seed:(seed_base + 1000) ())
+      ~count
+  in
+  let optimum =
+    List.map
+      (fun (q : Workload.query) ->
+        match (volcano_optimize q ~required:Phys_prop.any).plan with
+        | Some p -> Cost.total p.cost
+        | None -> nan)
+      queries
+  in
+  let exhaustive_tasks =
+    List.map
+      (fun (q : Workload.query) ->
+        (volcano_optimize q ~required:Phys_prop.any).tasks_run)
+      queries
+  in
+  Printf.printf "  exhaustive search: %.0f tasks on average (%d-relation chain)\n\n"
+    (mean (List.map Float.of_int exhaustive_tasks))
+    n;
+  Printf.printf "  budget (tasks) | plans found | cost / optimum (geomean)\n";
+  Printf.printf "  ---------------+-------------+-------------------------\n";
+  List.iter
+    (fun budget ->
+      let found = ref 0 and ratios = ref [] in
+      List.iter2
+        (fun (q : Workload.query) opt ->
+          let request =
+            {
+              (Relmodel.Optimizer.request q.catalog) with
+              max_tasks = Some budget;
+              restore_columns = false;
+            }
+          in
+          let r = Relmodel.Optimizer.optimize request q.logical ~required:Phys_prop.any in
+          match r.plan with
+          | Some p ->
+            incr found;
+            ratios := (Cost.total p.cost /. opt) :: !ratios
+          | None -> ())
+        queries optimum;
+      Printf.printf "  %14d | %8d/%-2d | %s\n%!" budget !found count
+        (if !ratios = [] then "-" else Printf.sprintf "%.4f" (geomean !ratios)))
+    [ 50; 200; 500; 1_000; 2_000; 5_000; 20_000 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -635,5 +698,6 @@ let () =
   if want "a7" then a7 ~full ();
   if want "a8" then a8 ~full ();
   if want "a9" then a9 ~full ();
+  if want "a10" then a10 ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -48,7 +48,8 @@ let print_tables catalog =
       Format.printf "%-6s %6d rows  %a@." t.name (Array.length t.tuples) Schema.pp t.schema)
     (Catalog.tables catalog)
 
-let run_optimize sql execute compare_exodus no_pruning left_deep =
+let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeout_ms
+    trace =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -62,9 +63,21 @@ let run_optimize sql execute compare_exodus no_pruning left_deep =
         (Relmodel.Optimizer.request catalog) with
         pruning = not no_pruning;
         flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
+        max_tasks = max_steps;
+        max_millis = timeout_ms;
+        trace =
+          (if trace then
+             Some
+               (fun e ->
+                 Format.eprintf "trace: %a@." Volcano.Search_stats.pp_trace_event e)
+           else None);
       }
     in
     let result = Relmodel.Optimizer.optimize request logical ~required in
+    if not result.complete then
+      Format.printf
+        "Budget exhausted after %d tasks; showing the best plan found so far.@.@."
+        result.tasks_run;
     (match result.plan with
      | None ->
        Format.printf "No plan found within the cost limit.@.";
@@ -73,6 +86,7 @@ let run_optimize sql execute compare_exodus no_pruning left_deep =
          (Cost.to_string plan.cost)
          (Relmodel.Optimizer.explain plan);
        Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats;
+       Format.printf "Tasks: %a@." Volcano.Search_stats.pp_tasks result.stats;
        Format.printf "Memo: %d groups, %d multi-expressions@.@." result.memo_groups
          result.memo_mexprs;
        if compare_exodus then begin
@@ -169,9 +183,32 @@ let optimize_cmd =
   let left_deep =
     Arg.(value & flag & info [ "left-deep" ] ~doc:"Restrict join plans to left-deep shape.")
   in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Deterministic step budget: stop after N engine tasks and return the best \
+             plan found so far (anytime optimization).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget in milliseconds; same anytime semantics as max-steps.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print one line per search-engine task to stderr.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
-    Term.(const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ left_deep)
+    Term.(
+      const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ left_deep
+      $ max_steps $ timeout_ms $ trace)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())

@@ -38,6 +38,9 @@ type plan_node = {
 
 type result = {
   plan : plan_node option;
+  complete : bool;
+      (** [false]: the task/time budget ran out; [plan] is the best
+          found so far *)
   stats : Volcano.Search_stats.t;
   memo_groups : int;
   memo_mexprs : int;
@@ -46,6 +49,8 @@ type result = {
 val optimize :
   store:Oo_algebra.store ->
   ?params:params ->
+  ?max_tasks:int ->
+  ?max_millis:float ->
   Oo_algebra.op Volcano.Tree.t ->
   required:Oo_algebra.phys ->
   result

@@ -7,6 +7,8 @@ type plan_node = {
 
 type result = {
   plan : plan_node option;
+  complete : bool;
+  tasks_run : int;
   stats : Volcano.Search_stats.t;
   memo_groups : int;
   memo_mexprs : int;
@@ -19,6 +21,9 @@ type request = {
   pruning : bool;
   max_moves : int option;
   limit : Relalg.Cost.t option;
+  max_tasks : int option;
+  max_millis : float option;
+  trace : (Volcano.Search_stats.trace_event -> unit) option;
   restore_columns : bool;
 }
 
@@ -30,6 +35,9 @@ let request catalog =
     pruning = true;
     max_moves = None;
     limit = None;
+    max_tasks = None;
+    max_millis = None;
+    trace = None;
     restore_columns = true;
   }
 
@@ -42,7 +50,12 @@ let optimize req (query : Relalg.Logical.expr) ~required : result =
   in
   let module S = Volcano.Search.Make (M) in
   let config =
-    { S.default_config with pruning = req.pruning; max_moves = req.max_moves }
+    {
+      S.pruning = req.pruning;
+      max_moves = req.max_moves;
+      budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
+      trace = req.trace;
+    }
   in
   let opt = S.create ~config () in
   let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
@@ -72,6 +85,8 @@ let optimize req (query : Relalg.Logical.expr) ~required : result =
   in
   {
     plan = Option.map finish outcome.plan;
+    complete = (outcome.status = S.Complete);
+    tasks_run = outcome.tasks_run;
     stats = outcome.search_stats;
     memo_groups = outcome.memo_groups;
     memo_mexprs = outcome.memo_mexprs;
@@ -107,7 +122,12 @@ let session req =
   in
   let module S = Volcano.Search.Make (M) in
   let config =
-    { S.default_config with pruning = req.pruning; max_moves = req.max_moves }
+    {
+      S.pruning = req.pruning;
+      max_moves = req.max_moves;
+      budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
+      trace = req.trace;
+    }
   in
   let opt = S.create ~config () in
   let run query required =
@@ -118,6 +138,8 @@ let session req =
     in
     {
       plan = Option.map convert outcome.plan;
+      complete = (outcome.status = S.Complete);
+      tasks_run = outcome.tasks_run;
       stats = outcome.search_stats;
       memo_groups = outcome.memo_groups;
       memo_mexprs = outcome.memo_mexprs;

@@ -13,7 +13,13 @@ type plan_node = {
 }
 
 type result = {
-  plan : plan_node option;  (** [None]: no plan within the cost limit *)
+  plan : plan_node option;
+      (** [None]: no plan within the cost limit (or, under an exhausted
+          budget, none found yet) *)
+  complete : bool;
+      (** [false]: the task/time budget ran out; [plan] is the best
+          found so far (anytime optimization) *)
+  tasks_run : int;  (** engine tasks this optimization executed *)
   stats : Volcano.Search_stats.t;
   memo_groups : int;
   memo_mexprs : int;
@@ -26,6 +32,10 @@ type request = {
   pruning : bool;
   max_moves : int option;
   limit : Relalg.Cost.t option;  (** cost limit (Figure 2's Limit); [None] = infinity *)
+  max_tasks : int option;  (** deterministic step budget; [None] = unlimited *)
+  max_millis : float option;  (** wall-clock budget; [None] = unlimited *)
+  trace : (Volcano.Search_stats.trace_event -> unit) option;
+      (** per-task trace hook on the search engine's stepper loop *)
   restore_columns : bool;
       (** append a projection restoring the logical column order when
           join commutativity reordered the output (default [true]; plan

@@ -1,18 +1,43 @@
 (** The search engine shared by all generated optimizers (paper §3):
-    directed dynamic programming. FindBestPlan (Figure 2) is
-    [find_best] below. One deliberate restructuring: where Figure 2
-    lists transformations among the moves of a goal, we first close the
-    goal's equivalence class under the transformation rules
-    ([explore_group]) and then enumerate algorithm and enforcer moves
-    over all multi-expressions in the class. For exhaustive search the
-    two orders visit exactly the same plans; the closure form is how
-    this search was later productized (Cascades). The paper's
-    in-progress marking, excluding property vectors, failure caching,
-    promise ordering and limit-based pruning are all implemented as
-    described. *)
+    directed dynamic programming. FindBestPlan (Figure 2) is realized as
+    an {e explicit task engine}: instead of direct recursion, the search
+    is a work stack of first-class tasks — [Optimize_group],
+    [Explore_group], [Optimize_mexpr], [Apply_transform],
+    [Optimize_inputs], [Apply_enforcer] — driven by a single stepper
+    loop ({!step}). This is the reification that the Cascades lineage
+    applied to the same algorithm, and it buys three things recursion
+    cannot give: deterministic step budgets and wall-clock timeouts that
+    abort cleanly mid-goal (anytime optimization), a per-task trace
+    hook, and resumable searches (a paused run continues under a higher
+    budget without redoing work).
+
+    The paper's semantics are preserved exactly: memoized winners {e
+    and} failures per (group, property vector, limit), in-progress
+    marking, excluding property vectors, promise ordering, and
+    branch-and-bound limits. One deliberate restructuring carried over
+    from the recursive engine: where Figure 2 lists transformations
+    among the moves of a goal, we first close the goal's equivalence
+    class under the transformation rules ([Explore_group] tasks) and
+    then enumerate algorithm and enforcer moves over all
+    multi-expressions in the class. For exhaustive search the two orders
+    visit exactly the same plans. *)
 
 module Make (M : Signatures.MODEL) = struct
   module Memo = Memo.Make (M)
+
+  (** Step/time budgets for one optimization run. Both are cumulative
+      over the run, including across {!resume} calls, so a paused run
+      resumed with a larger budget continues instead of starting its
+      accounting over. [max_tasks] is deterministic; [max_millis] is
+      wall-clock. *)
+  type budget = {
+    max_tasks : int option;
+    max_millis : float option;
+  }
+
+  let unlimited = { max_tasks = None; max_millis = None }
+
+  let budget ?max_tasks ?max_millis () = { max_tasks; max_millis }
 
   type config = {
     pruning : bool;  (** branch-and-bound via cost limits (Figure 2) *)
@@ -20,10 +45,15 @@ module Make (M : Signatures.MODEL) = struct
         (** pursue only the k most promising moves per goal — the
             paper's heuristic-guidance hook ("In the future, a subset of
             the moves will be selected"); [None] = exhaustive *)
-    task_limit : int;  (** safety valve on the number of goals optimized *)
+    budget : budget;
+        (** default budget for {!optimize}; {!unlimited} reproduces the
+            exhaustive search of the paper *)
+    trace : (Search_stats.trace_event -> unit) option;
+        (** called once per task popped from the work stack *)
   }
 
-  let default_config = { pruning = true; max_moves = None; task_limit = max_int }
+  let default_config =
+    { pruning = true; max_moves = None; budget = unlimited; trace = None }
 
   type t = {
     memo : Memo.t;
@@ -38,8 +68,6 @@ module Make (M : Signatures.MODEL) = struct
     props : M.phys_props;
     cost : M.cost;  (** total cost of this subtree *)
   }
-
-  exception Search_limit_exceeded
 
   let create ?(config = default_config) () =
     let stats = Search_stats.create () in
@@ -57,10 +85,14 @@ module Make (M : Signatures.MODEL) = struct
   let lookup t g = Memo.lprops t.memo g
 
   (* ------------------------------------------------------------------ *)
-  (* Exploration: close a group under the transformation rules.         *)
+  (* Rule bindings                                                       *)
   (* ------------------------------------------------------------------ *)
 
   let rule_index = List.mapi (fun i r -> (i, r)) M.transforms
+
+  let n_implementations = List.length M.implementations
+
+  let implementation_index = List.mapi (fun i r -> (i, r)) M.implementations
 
   let cartesian lists =
     List.fold_right
@@ -68,15 +100,16 @@ module Make (M : Signatures.MODEL) = struct
         List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
       lists [ [] ]
 
-  (* All bindings of [pattern] rooted at multi-expression [m]. Matching
-     below the root enumerates the input groups' expressions, exploring
-     them first so the enumeration is complete (goal-directed: only
-     groups a pattern actually descends into get explored). *)
+  (* All bindings of [pattern] rooted at multi-expression [m]. Unlike
+     the old recursive engine, binding enumeration never explores groups
+     inline: tasks that enumerate bindings first schedule
+     [Explore_group] for every group an [Op] sub-pattern descends into
+     (see [missing_for_mexpr]), so by the time [bindings_at] runs the
+     enumeration is complete over already-closed classes. *)
   let rec bindings_below t pattern g : M.op Rule.binding list =
     match pattern with
-    | Rule.Any -> [ Rule.Group g ]
+    | Rule.Any -> [ Rule.Group (Memo.find_root t.memo g) ]
     | Rule.Op (_, _) ->
-      explore_group t g;
       List.concat_map (fun m -> bindings_at t pattern m) (Memo.mexprs t.memo g)
 
   and bindings_at t pattern (m : Memo.mexpr) : M.op Rule.binding list =
@@ -88,10 +121,40 @@ module Make (M : Signatures.MODEL) = struct
         cartesian (List.map2 (fun p g -> bindings_below t p g) subs m.inputs)
         |> List.map (fun inputs -> Rule.Node (m.op, inputs))
 
+  (* Groups that [pattern] descends into below [m] which are neither
+     explored nor mid-exploration: the exploration prerequisites of a
+     rule application. A group currently being explored counts as
+     satisfied — the cyclic case, where the recursive engine likewise
+     proceeded with the class's partial contents. *)
+  let rec missing_below t pattern g acc =
+    match pattern with
+    | Rule.Any -> acc
+    | Rule.Op (matches, subs) ->
+      let g = Memo.find_root t.memo g in
+      if not (Memo.is_explored t.memo g || Memo.is_exploring t.memo g) then g :: acc
+      else
+        List.fold_left
+          (fun acc (m : Memo.mexpr) ->
+            if matches m.op && List.length subs = List.length m.inputs then
+              List.fold_left2
+                (fun acc p gi -> missing_below t p gi acc)
+                acc subs m.inputs
+            else acc)
+          acc (Memo.mexprs t.memo g)
+
+  let missing_for_mexpr t pattern (m : Memo.mexpr) : Memo.group list =
+    match pattern with
+    | Rule.Any -> []
+    | Rule.Op (matches, subs) ->
+      if (not (matches m.op)) || List.length subs <> List.length m.inputs then []
+      else
+        List.fold_left2 (fun acc p gi -> missing_below t p gi acc) [] subs m.inputs
+        |> List.sort_uniq compare
+
   (* Insert the expression a rule produced. Nested nodes become (new or
      existing) classes of their own — Figure 3: expression C "requires a
      new equivalence class"; the root joins the class being explored. *)
-  and insert_binding t ~target (b : M.op Rule.binding) : Memo.group =
+  let rec insert_binding t ~target (b : M.op Rule.binding) : Memo.group =
     match b with
     | Rule.Group g -> g
     | Rule.Node (op, subs) ->
@@ -104,48 +167,6 @@ module Make (M : Signatures.MODEL) = struct
     | Rule.Node (op, subs) ->
       let inputs = List.map (insert_binding_input t) subs in
       Memo.insert t.memo op inputs
-
-  and explore_group t g =
-    let g = Memo.find_root t.memo g in
-    if Memo.is_explored t.memo g || Memo.is_exploring t.memo g then ()
-    else begin
-      Memo.set_exploring t.memo g true;
-      let progress = ref true in
-      while !progress do
-        progress := false;
-        let snapshot = Memo.mexprs t.memo g in
-        List.iter
-          (fun (m : Memo.mexpr) ->
-            List.iter
-              (fun (i, (rule : (M.op, M.logical_props) Rule.transform)) ->
-                let bit = 1 lsl i in
-                if m.applied land bit = 0 then begin
-                  m.applied <- m.applied lor bit;
-                  let bindings = bindings_at t rule.t_pattern m in
-                  List.iter
-                    (fun b ->
-                      let results = rule.t_apply ~lookup:(lookup t) b in
-                      if results <> [] then begin
-                        t.stats.rule_firings <- t.stats.rule_firings + 1;
-                        List.iter
-                          (fun b' ->
-                            let g' = insert_binding t ~target:g b' in
-                            ignore (g' : Memo.group);
-                            progress := true)
-                          results
-                      end)
-                    bindings
-                end)
-              rule_index)
-          snapshot;
-        (* New mexprs appended during this sweep are caught by the next
-           sweep; the applied-bitmask keeps work linear in (mexpr, rule)
-           pairs. *)
-        if not !progress then ()
-      done;
-      Memo.set_exploring t.memo g false;
-      Memo.set_explored t.memo g true
-    end
 
   (* ------------------------------------------------------------------ *)
   (* Moves                                                               *)
@@ -167,34 +188,28 @@ module Make (M : Signatures.MODEL) = struct
 
   let move_promise = function Impl m -> m.promise | Enforce m -> m.promise
 
-  let impl_moves t g ~required =
-    explore_group t g;
-    List.concat_map
-      (fun (rule : (M.op, M.alg, M.logical_props, M.phys_props) Rule.implement) ->
-        let bindings =
-          List.concat_map (fun m -> bindings_at t rule.i_pattern m) (Memo.mexprs t.memo g)
-        in
-        List.concat_map
-          (fun b ->
-            rule.i_apply ~lookup:(lookup t) ~required b
-            |> List.concat_map (fun (c : _ Rule.impl_choice) ->
-                   List.map
-                     (fun vector ->
-                       if List.length vector <> List.length c.c_inputs then
-                         invalid_arg
-                           (Printf.sprintf
-                              "rule %s: alternative vector arity mismatch for %s"
-                              rule.i_name (M.alg_name c.c_alg));
-                       Impl
-                         {
-                           alg = c.c_alg;
-                           input_groups = List.map (Memo.find_root t.memo) c.c_inputs;
-                           input_reqs = vector;
-                           promise = rule.i_promise;
-                         })
-                     c.c_alternatives))
-          bindings)
-      M.implementations
+  (* Implementation moves of rule [rule] rooted at multi-expression [m]. *)
+  let impl_moves_at t (rule : (M.op, M.alg, M.logical_props, M.phys_props) Rule.implement)
+      (m : Memo.mexpr) ~required : move list =
+    bindings_at t rule.i_pattern m
+    |> List.concat_map (fun b ->
+           rule.i_apply ~lookup:(lookup t) ~required b
+           |> List.concat_map (fun (c : _ Rule.impl_choice) ->
+                  List.map
+                    (fun vector ->
+                      if List.length vector <> List.length c.c_inputs then
+                        invalid_arg
+                          (Printf.sprintf
+                             "rule %s: alternative vector arity mismatch for %s"
+                             rule.i_name (M.alg_name c.c_alg));
+                      Impl
+                        {
+                          alg = c.c_alg;
+                          input_groups = List.map (Memo.find_root t.memo) c.c_inputs;
+                          input_reqs = vector;
+                          promise = rule.i_promise;
+                        })
+                    c.c_alternatives))
 
   let enforcer_moves ~props ~required =
     List.map
@@ -202,7 +217,7 @@ module Make (M : Signatures.MODEL) = struct
       (M.enforcers ~props ~required)
 
   (* ------------------------------------------------------------------ *)
-  (* FindBestPlan                                                        *)
+  (* Tasks                                                               *)
   (* ------------------------------------------------------------------ *)
 
   let cost_lt a b = M.cost_compare a b < 0
@@ -218,191 +233,645 @@ module Make (M : Signatures.MODEL) = struct
     | None -> false
     | Some ex -> M.pp_covers ~provided:delivered ~required:ex
 
-  let rec find_best t g ~required ~excluded ~limit : Memo.plan option =
-    let g = Memo.find_root t.memo g in
-    let key = (required, excluded) in
-    match Memo.winner t.memo g key with
-    | Some w -> begin
-      match w.w_plan with
-      | Some p ->
-        (* A recorded plan is optimal for this goal; it only answers
-           the request if it fits the present limit (Figure 2: "if the
-           cost in the look-up table < Limit return Plan"). *)
-        t.stats.goal_hits <- t.stats.goal_hits + 1;
-        if (not t.config.pruning) || cost_le p.p_cost limit then Some p else None
-      | None ->
-        if cost_le limit w.w_bound then begin
-          (* Recorded failure at a bound at least as generous: fail
-             fast ("failures that can save future optimization
-             effort ... with the same or even lower cost limits"). *)
-          t.stats.goal_hits <- t.stats.goal_hits + 1;
-          None
-        end
-        else optimize_goal t g ~required ~excluded ~limit
-    end
-    | None ->
-      if Memo.in_progress t.memo g key then None
-      else optimize_goal t g ~required ~excluded ~limit
+  (* Where a finished goal writes its answer. The stack discipline
+     guarantees the reader (the task pushed immediately beneath the
+     goal) runs only after the goal's whole task subtree completed. *)
+  type slot = { mutable answer : Memo.plan option }
 
-  and optimize_goal t g ~required ~excluded ~limit : Memo.plan option =
-    let key = (required, excluded) in
-    t.stats.goals <- t.stats.goals + 1;
-    if t.stats.goals > t.config.task_limit then raise Search_limit_exceeded;
-    Memo.mark_in_progress t.memo g key;
-    let moves =
-      impl_moves t g ~required @ enforcer_moves ~props:(lookup t g) ~required
+  (* One (group, required, excluding, limit) optimization goal — the
+     state Figure 2's FindBestPlan kept in its activation record, made
+     explicit so the stepper can leave and re-enter it. *)
+  type goal_state = {
+    gs_group : Memo.group;
+    gs_required : M.phys_props;
+    gs_excluded : M.phys_props option;
+    gs_limit : M.cost;  (** the caller's limit *)
+    mutable gs_bound : M.cost;  (** running branch-and-bound bound *)
+    mutable gs_best : Memo.plan option;
+    gs_impl : move list array;  (** per-implementation-rule collection buckets *)
+    mutable gs_moves : move list;  (** pending moves, promise-ordered *)
+    mutable gs_phase : goal_phase;
+    gs_slot : slot;
+  }
+
+  and goal_phase =
+    | G_init  (** consult the winner table; start a real optimization if needed *)
+    | G_collect  (** class explored: fan out move generation per multi-expression *)
+    | G_pursue  (** assemble + promise-sort moves once, then pursue sequentially *)
+
+  (* Pursuit of one algorithm move: optimize inputs left to right,
+     tightening the remaining budget (Figure 2: Limit - TotalCost). *)
+  and impl_state = {
+    im_goal : goal_state;
+    im_alg : M.alg;
+    im_delivered : M.phys_props;
+    mutable im_acc_cost : M.cost;  (** local cost + completed inputs *)
+    mutable im_done : (Memo.group * M.phys_props * M.phys_props option) list;
+        (** completed input goals, reversed *)
+    mutable im_pending : (Memo.group * M.phys_props) list;
+    mutable im_inflight : (Memo.group * M.phys_props * slot) option;
+  }
+
+  (* Pursuit of one enforcer move: §6 — the enforcer's cost is
+     subtracted from the bound before its input is optimized. *)
+  and enf_state = {
+    en_goal : goal_state;
+    en_alg : M.alg;
+    en_delivered : M.phys_props;
+    en_relaxed : M.phys_props;
+    en_excluded : M.phys_props;
+    en_local : M.cost;
+    en_slot : slot;
+  }
+
+  and task =
+    | T_optimize_group of goal_state
+    | T_explore_group of Memo.group  (** begin exploration *)
+    | T_explore_round of Memo.group  (** one sweep of the exploration fixpoint *)
+    | T_optimize_mexpr of goal_state * Memo.mexpr
+    | T_apply_transform of Memo.group * Memo.mexpr * int  (** (target, mexpr, rule) *)
+    | T_optimize_inputs of impl_state
+    | T_apply_enforcer of enf_state
+
+  let task_kind : task -> Search_stats.task_kind = function
+    | T_optimize_group _ -> Search_stats.Optimize_group
+    | T_explore_group _ | T_explore_round _ -> Search_stats.Explore_group
+    | T_optimize_mexpr _ -> Search_stats.Optimize_mexpr
+    | T_apply_transform _ -> Search_stats.Apply_transform
+    | T_optimize_inputs _ -> Search_stats.Optimize_inputs
+    | T_apply_enforcer _ -> Search_stats.Apply_enforcer
+
+  let task_group : task -> Memo.group = function
+    | T_optimize_group gs -> gs.gs_group
+    | T_explore_group g | T_explore_round g -> g
+    | T_optimize_mexpr (gs, _) -> gs.gs_group
+    | T_apply_transform (g, _, _) -> g
+    | T_optimize_inputs st -> st.im_goal.gs_group
+    | T_apply_enforcer st -> st.en_goal.gs_group
+
+  (* ------------------------------------------------------------------ *)
+  (* Runs: one resumable optimization                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  type stop_reason =
+    | Task_budget  (** the deterministic step budget was exhausted *)
+    | Time_budget  (** the wall-clock budget was exhausted *)
+
+  type status =
+    | Complete
+    | Paused of stop_reason
+
+  type run = {
+    rt : t;
+    r_root : Memo.group;
+    r_required : M.phys_props;
+    r_limit : M.cost;
+    r_goal : goal_state;  (** the root goal; its best-so-far is the anytime plan *)
+    mutable r_stack : task list;
+    mutable r_depth : int;
+    mutable r_tasks : int;  (** tasks executed in this run (not the searcher) *)
+    mutable r_millis : float;  (** active wall-clock milliseconds, across resumes *)
+    mutable r_status : status option;  (** [Some Complete] once the stack drains *)
+  }
+
+  let push run task =
+    run.r_stack <- task :: run.r_stack;
+    run.r_depth <- run.r_depth + 1;
+    Search_stats.note_stack_depth run.rt.stats run.r_depth
+
+  (* ------------------------------------------------------------------ *)
+  (* Task bodies                                                         *)
+  (* ------------------------------------------------------------------ *)
+
+  let new_goal t ~group ~required ~excluded ~limit slot =
+    {
+      gs_group = Memo.find_root t.memo group;
+      gs_required = required;
+      gs_excluded = excluded;
+      gs_limit = limit;
+      gs_bound = (if t.config.pruning then limit else M.cost_infinite);
+      gs_best = None;
+      gs_impl = Array.make (max 1 n_implementations) [];
+      gs_moves = [];
+      gs_phase = G_init;
+      gs_slot = slot;
+    }
+
+  (* Record a completed candidate plan against the goal, tightening the
+     branch-and-bound bound (Figure 2's Limit update). *)
+  let consider t gs (candidate : Memo.plan) =
+    let better =
+      match gs.gs_best with
+      | None -> (not t.config.pruning) || cost_le candidate.p_cost gs.gs_limit
+      | Some b -> cost_lt candidate.p_cost b.p_cost
     in
+    if better && M.pp_covers ~provided:candidate.p_props ~required:gs.gs_required then begin
+      gs.gs_best <- Some candidate;
+      if cost_lt candidate.p_cost gs.gs_bound then gs.gs_bound <- candidate.p_cost
+    end
+
+  (* Conclude a goal: record the winner or the failure (with the bound
+     it ran under — "failures that can save future optimization effort
+     ... with the same or even lower cost limits") and deliver the
+     answer to whoever scheduled the goal. *)
+  let finalize_goal t gs =
+    let g = Memo.find_root t.memo gs.gs_group in
+    let key = (gs.gs_required, gs.gs_excluded) in
+    Memo.unmark_in_progress t.memo g key;
+    (match gs.gs_best with
+     | Some p -> Memo.set_winner t.memo g key (Some p) gs.gs_limit
+     | None ->
+       t.stats.failures <- t.stats.failures + 1;
+       Memo.set_winner t.memo g key None gs.gs_limit);
+    gs.gs_slot.answer <- gs.gs_best
+
+  (* Schedule the child goal of a pursued move: push the waiter, then
+     the child's [Optimize_group] on top so it runs first. *)
+  let schedule_child run ~waiter ~group ~required ~excluded ~limit slot =
+    let child = new_goal run.rt ~group ~required ~excluded ~limit slot in
+    push run waiter;
+    push run (T_optimize_group child)
+
+  (* Pursue the goal's next pending move, or finalize. Each move runs to
+     completion before the next starts, so the bound tightened by one
+     move's plan prunes the following moves — exactly the sequential
+     move order of the recursive engine. *)
+  let rec next_move run gs =
+    let t = run.rt in
+    match gs.gs_moves with
+    | [] -> finalize_goal t gs
+    | mv :: rest ->
+      gs.gs_moves <- rest;
+      (match mv with
+       | Impl { alg; input_groups; input_reqs; promise = _ } ->
+         let input_props = List.map (lookup t) input_groups in
+         let output_props = lookup t gs.gs_group in
+         let delivered = M.deliver alg input_reqs in
+         if excluded_by ~excluded:gs.gs_excluded ~delivered then next_move run gs
+         else if not (M.pp_covers ~provided:delivered ~required:gs.gs_required) then
+           next_move run gs
+         else begin
+           t.stats.plans_costed <- t.stats.plans_costed + 1;
+           let local =
+             M.cost_of alg ~inputs:input_props ~input_props:input_reqs
+               ~output:output_props
+           in
+           push run
+             (T_optimize_inputs
+                {
+                  im_goal = gs;
+                  im_alg = alg;
+                  im_delivered = delivered;
+                  im_acc_cost = local;
+                  im_done = [];
+                  im_pending = List.combine input_groups input_reqs;
+                  im_inflight = None;
+                })
+         end
+       | Enforce { alg; relaxed; excluded = enf_excluded; promise = _ } ->
+         let gprops = lookup t gs.gs_group in
+         let delivered = M.deliver alg [ relaxed ] in
+         if excluded_by ~excluded:gs.gs_excluded ~delivered then next_move run gs
+         else if not (M.pp_covers ~provided:delivered ~required:gs.gs_required) then
+           next_move run gs
+         else begin
+           t.stats.enforcer_moves <- t.stats.enforcer_moves + 1;
+           t.stats.plans_costed <- t.stats.plans_costed + 1;
+           (* "the Volcano optimizer generator's search algorithm
+              immediately ... subtracts the cost of the enforcer ...
+              from the bound used for branch-and-bound pruning" (§6). *)
+           let local =
+             M.cost_of alg ~inputs:[ gprops ] ~input_props:[ relaxed ] ~output:gprops
+           in
+           let sub_limit = M.cost_sub gs.gs_bound local in
+           if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then begin
+             t.stats.pruned <- t.stats.pruned + 1;
+             next_move run gs
+           end
+           else begin
+             let slot = { answer = None } in
+             schedule_child run
+               ~waiter:
+                 (T_apply_enforcer
+                    {
+                      en_goal = gs;
+                      en_alg = alg;
+                      en_delivered = delivered;
+                      en_relaxed = relaxed;
+                      en_excluded = enf_excluded;
+                      en_local = local;
+                      en_slot = slot;
+                    })
+               ~group:gs.gs_group ~required:relaxed ~excluded:(Some enf_excluded)
+               ~limit:sub_limit slot
+           end
+         end)
+
+  (* FindBestPlan's winner-table consultation (Figure 2: "if the cost in
+     the look-up table < Limit return Plan"), verbatim from the
+     recursive engine: a recorded plan answers iff it fits the present
+     limit; a recorded failure answers iff its bound was at least as
+     generous; an in-progress goal (inverse rule pairs, enforcer cycles)
+     answers with failure. *)
+  let optimize_group_init run gs =
+    let t = run.rt in
+    let g = Memo.find_root t.memo gs.gs_group in
+    let key = (gs.gs_required, gs.gs_excluded) in
+    let start_optimization () =
+      t.stats.goal_misses <- t.stats.goal_misses + 1;
+      t.stats.goals <- t.stats.goals + 1;
+      Memo.mark_in_progress t.memo g key;
+      gs.gs_phase <- G_collect;
+      push run (T_optimize_group gs);
+      push run (T_explore_group g)
+    in
+    match Memo.winner t.memo g key with
+    | Some { w_plan = Some p; _ } ->
+      t.stats.goal_hits <- t.stats.goal_hits + 1;
+      gs.gs_slot.answer <-
+        (if (not t.config.pruning) || cost_le p.p_cost gs.gs_limit then Some p else None)
+    | Some { w_plan = None; w_bound } ->
+      if cost_le gs.gs_limit w_bound then begin
+        t.stats.goal_hits <- t.stats.goal_hits + 1;
+        gs.gs_slot.answer <- None
+      end
+      else start_optimization ()
+    | None ->
+      if Memo.in_progress t.memo g key then gs.gs_slot.answer <- None
+      else start_optimization ()
+
+  (* The class is closed; fan move generation out, one task per
+     multi-expression, then re-enter in [G_pursue] to assemble. *)
+  let optimize_group_collect run gs =
+    let t = run.rt in
+    let g = Memo.find_root t.memo gs.gs_group in
+    gs.gs_phase <- G_pursue;
+    push run (T_optimize_group gs);
+    (* Push in reverse so multi-expressions are processed in memo
+       order, preserving the recursive engine's move enumeration. *)
+    List.iter
+      (fun m -> push run (T_optimize_mexpr (gs, m)))
+      (List.rev (Memo.mexprs t.memo g))
+
+  (* Assemble the goal's moves: implementation moves flattened
+     rule-major (the recursive engine's enumeration order), then
+     enforcer moves, stably sorted by promise, optionally truncated to
+     the k most promising — then start pursuing. *)
+  let optimize_group_pursue run gs =
+    let t = run.rt in
+    let impl = List.concat (Array.to_list gs.gs_impl) in
+    let enf = enforcer_moves ~props:(lookup t gs.gs_group) ~required:gs.gs_required in
     let moves =
-      List.stable_sort (fun a b -> compare (move_promise b) (move_promise a)) moves
+      List.stable_sort
+        (fun a b -> compare (move_promise b) (move_promise a))
+        (impl @ enf)
     in
     let moves =
       match t.config.max_moves with
       | None -> moves
       | Some k -> List.filteri (fun i _ -> i < k) moves
     in
-    let best : Memo.plan option ref = ref None in
-    (* The running branch-and-bound limit: starts at the caller's limit
-       and tightens as complete plans are found. *)
-    let bound = ref (if t.config.pruning then limit else M.cost_infinite) in
-    let consider (candidate : Memo.plan) =
-      let better =
-        match !best with
-        | None -> (not t.config.pruning) || cost_le candidate.p_cost limit
-        | Some b -> cost_lt candidate.p_cost b.p_cost
+    gs.gs_moves <- moves;
+    next_move run gs
+
+  let optimize_mexpr run gs (m : Memo.mexpr) =
+    let t = run.rt in
+    if m.dead then ()
+    else begin
+      (* Exploration prerequisites: groups that implementation patterns
+         descend into must be closed before bindings are enumerated. *)
+      let missing =
+        List.concat_map
+          (fun (_, (rule : _ Rule.implement)) -> missing_for_mexpr t rule.i_pattern m)
+          implementation_index
+        |> List.sort_uniq compare
       in
-      if better && M.pp_covers ~provided:candidate.p_props ~required then begin
-        best := Some candidate;
-        if cost_lt candidate.p_cost !bound then bound := candidate.p_cost
+      if missing <> [] then begin
+        push run (T_optimize_mexpr (gs, m));
+        List.iter (fun g -> push run (T_explore_group g)) missing
       end
+      else
+        List.iter
+          (fun (i, rule) ->
+            let moves = impl_moves_at t rule m ~required:gs.gs_required in
+            gs.gs_impl.(i) <- gs.gs_impl.(i) @ moves)
+          implementation_index
+    end
+
+  let explore_group run g =
+    let t = run.rt in
+    let g = Memo.find_root t.memo g in
+    if Memo.is_explored t.memo g || Memo.is_exploring t.memo g then ()
+    else begin
+      Memo.set_exploring t.memo g true;
+      push run (T_explore_round g)
+    end
+
+  (* One sweep of the exploration fixpoint: schedule a rule application
+     for every (multi-expression, rule) pair not yet fired, with a
+     re-check underneath. New multi-expressions appended by those
+     applications carry empty applied-bitmasks and are caught by the
+     next sweep; the bitmask keeps the total work linear in
+     (mexpr, rule) pairs, as in the recursive engine. *)
+  let explore_round run g =
+    let t = run.rt in
+    let g = Memo.find_root t.memo g in
+    let pending =
+      List.concat_map
+        (fun (m : Memo.mexpr) ->
+          List.filter_map
+            (fun (i, _) -> if m.applied land (1 lsl i) = 0 then Some (m, i) else None)
+            rule_index)
+        (Memo.mexprs t.memo g)
     in
-    let pursue = function
-      | Impl { alg; input_groups; input_reqs; promise = _ } ->
-        let input_props = List.map (lookup t) input_groups in
-        let output_props = lookup t g in
-        let delivered = M.deliver alg input_reqs in
-        if excluded_by ~excluded ~delivered then ()
-        else if not (M.pp_covers ~provided:delivered ~required) then ()
-        else begin
-          t.stats.plans_costed <- t.stats.plans_costed + 1;
-          let local =
-            M.cost_of alg ~inputs:input_props ~input_props:input_reqs ~output:output_props
-          in
-          (* Optimize inputs left to right, tightening the remaining
-             budget (Figure 2: Limit - TotalCost). *)
-          let rec inputs_loop acc_cost acc_plans groups reqs =
-            match groups, reqs with
-            | [], [] -> Some (acc_cost, List.rev acc_plans)
-            | gi :: groups', ri :: reqs' ->
-              if t.config.pruning && not (cost_le acc_cost !bound) then begin
-                t.stats.pruned <- t.stats.pruned + 1;
-                None
-              end
-              else begin
-                let sub_limit = M.cost_sub !bound acc_cost in
-                match find_best t gi ~required:ri ~excluded:None ~limit:sub_limit with
-                | None -> None
-                | Some sub ->
-                  inputs_loop
-                    (M.cost_add acc_cost sub.Memo.p_cost)
-                    ((gi, ri, None) :: acc_plans)
-                    groups' reqs'
-              end
-            | _, _ -> assert false
-          in
-          match inputs_loop local [] input_groups input_reqs with
-          | None -> ()
-          | Some (total, input_goals) ->
-            consider
-              { Memo.p_alg = alg; p_inputs = input_goals; p_props = delivered; p_cost = total }
+    if pending = [] then begin
+      Memo.set_exploring t.memo g false;
+      Memo.set_explored t.memo g true
+    end
+    else begin
+      push run (T_explore_round g);
+      List.iter
+        (fun (m, i) -> push run (T_apply_transform (g, m, i)))
+        (List.rev pending)
+    end
+
+  let apply_transform run target (m : Memo.mexpr) i =
+    let t = run.rt in
+    if m.dead then ()
+    else begin
+      let rule = List.assoc i rule_index in
+      let bit = 1 lsl i in
+      if m.applied land bit <> 0 then ()
+      else begin
+        let missing = missing_for_mexpr t rule.Rule.t_pattern m in
+        if missing <> [] then begin
+          push run (T_apply_transform (target, m, i));
+          List.iter (fun g -> push run (T_explore_group g)) missing
         end
-      | Enforce { alg; relaxed; excluded = enf_excluded; promise = _ } ->
-        let gprops = lookup t g in
-        let delivered = M.deliver alg [ relaxed ] in
-        if excluded_by ~excluded ~delivered then ()
-        else if not (M.pp_covers ~provided:delivered ~required) then ()
         else begin
-          t.stats.enforcer_moves <- t.stats.enforcer_moves + 1;
-          t.stats.plans_costed <- t.stats.plans_costed + 1;
-          (* "the Volcano optimizer generator's search algorithm
-             immediately ... subtracts the cost of the enforcer ...
-             from the bound used for branch-and-bound pruning" (§6). *)
-          let local =
-            M.cost_of alg ~inputs:[ gprops ] ~input_props:[ relaxed ] ~output:gprops
-          in
-          let sub_limit = M.cost_sub !bound local in
-          if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then
-            t.stats.pruned <- t.stats.pruned + 1
-          else
-            match
-              find_best t g ~required:relaxed ~excluded:(Some enf_excluded) ~limit:sub_limit
-            with
-            | None -> ()
-            | Some sub ->
-              consider
-                {
-                  Memo.p_alg = alg;
-                  p_inputs = [ (g, relaxed, Some enf_excluded) ];
-                  p_props = delivered;
-                  p_cost = M.cost_add local sub.Memo.p_cost;
-                }
+          m.applied <- m.applied lor bit;
+          let bindings = bindings_at t rule.Rule.t_pattern m in
+          List.iter
+            (fun b ->
+              let results = rule.Rule.t_apply ~lookup:(lookup t) b in
+              if results <> [] then begin
+                t.stats.rule_firings <- t.stats.rule_firings + 1;
+                List.iter
+                  (fun b' ->
+                    let target = Memo.find_root t.memo target in
+                    ignore (insert_binding t ~target b' : Memo.group))
+                  results
+              end)
+            bindings
         end
+      end
+    end
+
+  (* One step of the left-to-right input optimization of an algorithm
+     move. Absorbs the answer of the input goal in flight (if any), then
+     either schedules the next input under the tightened limit, prunes,
+     or completes the candidate. *)
+  let optimize_inputs run (st : impl_state) =
+    let t = run.rt in
+    let gs = st.im_goal in
+    let failed =
+      match st.im_inflight with
+      | None -> false
+      | Some (gi, ri, slot) ->
+        st.im_inflight <- None;
+        (match slot.answer with
+         | None -> true
+         | Some sub ->
+           st.im_done <- (gi, ri, None) :: st.im_done;
+           st.im_acc_cost <- M.cost_add st.im_acc_cost sub.Memo.p_cost;
+           false)
     in
-    List.iter pursue moves;
-    Memo.unmark_in_progress t.memo g key;
-    (match !best with
-     | Some p -> Memo.set_winner t.memo g key (Some p) limit
-     | None ->
-       t.stats.failures <- t.stats.failures + 1;
-       Memo.set_winner t.memo g key None limit);
-    !best
+    if failed then next_move run gs
+    else
+      match st.im_pending with
+      | [] ->
+        consider t gs
+          {
+            Memo.p_alg = st.im_alg;
+            p_inputs = List.rev st.im_done;
+            p_props = st.im_delivered;
+            p_cost = st.im_acc_cost;
+          };
+        next_move run gs
+      | (gi, ri) :: rest ->
+        if t.config.pruning && not (cost_le st.im_acc_cost gs.gs_bound) then begin
+          t.stats.pruned <- t.stats.pruned + 1;
+          next_move run gs
+        end
+        else begin
+          let sub_limit = M.cost_sub gs.gs_bound st.im_acc_cost in
+          let slot = { answer = None } in
+          st.im_pending <- rest;
+          st.im_inflight <- Some (gi, ri, slot);
+          schedule_child run ~waiter:(T_optimize_inputs st) ~group:gi ~required:ri
+            ~excluded:None ~limit:sub_limit slot
+        end
+
+  let apply_enforcer run (st : enf_state) =
+    let t = run.rt in
+    let gs = st.en_goal in
+    (match st.en_slot.answer with
+     | None -> ()
+     | Some sub ->
+       consider t gs
+         {
+           Memo.p_alg = st.en_alg;
+           p_inputs = [ (gs.gs_group, st.en_relaxed, Some st.en_excluded) ];
+           p_props = st.en_delivered;
+           p_cost = M.cost_add st.en_local sub.Memo.p_cost;
+         });
+    next_move run gs
+
+  (* ------------------------------------------------------------------ *)
+  (* The stepper loop                                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Execute one task. Returns [false] when the stack is empty. *)
+  let step run =
+    match run.r_stack with
+    | [] -> false
+    | task :: rest ->
+      run.r_stack <- rest;
+      run.r_depth <- run.r_depth - 1;
+      run.r_tasks <- run.r_tasks + 1;
+      let t = run.rt in
+      let kind = task_kind task in
+      Search_stats.count_task t.stats kind;
+      (match t.config.trace with
+       | None -> ()
+       | Some hook ->
+         hook
+           {
+             Search_stats.ev_seq = t.stats.tasks;
+             ev_kind = kind;
+             ev_group = Memo.find_root t.memo (task_group task);
+             ev_depth = run.r_depth;
+           });
+      (match task with
+       | T_optimize_group gs -> begin
+         match gs.gs_phase with
+         | G_init -> optimize_group_init run gs
+         | G_collect -> optimize_group_collect run gs
+         | G_pursue -> optimize_group_pursue run gs
+       end
+       | T_explore_group g -> explore_group run g
+       | T_explore_round g -> explore_round run g
+       | T_optimize_mexpr (gs, m) -> optimize_mexpr run gs m
+       | T_apply_transform (g, m, i) -> apply_transform run g m i
+       | T_optimize_inputs st -> optimize_inputs run st
+       | T_apply_enforcer st -> apply_enforcer run st);
+      true
+
+  (** Begin a resumable optimization: capture the query in the memo and
+      set up the root goal. No search work happens until {!resume}. *)
+  let start ?(limit = M.cost_infinite) t (query : M.op Tree.t) ~required : run =
+    let root = insert_query t query in
+    let slot = { answer = None } in
+    let goal = new_goal t ~group:root ~required ~excluded:None ~limit slot in
+    let run =
+      {
+        rt = t;
+        r_root = root;
+        r_required = required;
+        r_limit = limit;
+        r_goal = goal;
+        r_stack = [];
+        r_depth = 0;
+        r_tasks = 0;
+        r_millis = 0.;
+        r_status = None;
+      }
+    in
+    push run (T_optimize_group goal);
+    run
+
+  (** Drive the stepper until the search completes or the budget runs
+      out. Budgets are cumulative over the run: resuming a paused run
+      with a larger budget continues exactly where it stopped, with all
+      memoized work intact. Resuming a completed run is a no-op. *)
+  let resume ?budget (run : run) : status =
+    let budget = Option.value budget ~default:run.rt.config.budget in
+    match run.r_status with
+    | Some Complete -> Complete
+    | _ ->
+      let t0 = Unix.gettimeofday () in
+      let out_of_budget () =
+        match budget.max_tasks with
+        | Some n when run.r_tasks >= n -> Some Task_budget
+        | _ -> begin
+          match budget.max_millis with
+          | Some ms
+            when run.r_millis +. ((Unix.gettimeofday () -. t0) *. 1000.) >= ms ->
+            Some Time_budget
+          | _ -> None
+        end
+      in
+      let rec loop () =
+        if run.r_stack = [] then Complete
+        else
+          match out_of_budget () with
+          | Some reason -> Paused reason
+          | None ->
+            ignore (step run : bool);
+            loop ()
+      in
+      let status = loop () in
+      run.r_millis <- run.r_millis +. ((Unix.gettimeofday () -. t0) *. 1000.);
+      run.r_status <- Some status;
+      status
 
   (* ------------------------------------------------------------------ *)
   (* Plan extraction                                                     *)
   (* ------------------------------------------------------------------ *)
 
-  let rec extract t g ~required ~excluded : plan_tree =
+  (* Materialize a plan tree from a winner-table plan node: children are
+     re-read from the winner tables by their optimization goals. *)
+  let rec extract_node t (p : Memo.plan) : plan_tree =
+    let children =
+      List.map
+        (fun (gi, ri, ei) ->
+          let gi = Memo.find_root t.memo gi in
+          match Memo.winner t.memo gi (ri, ei) with
+          | None | Some { w_plan = None; _ } ->
+            invalid_arg "Search.extract: no winning plan recorded for goal"
+          | Some { w_plan = Some sub; _ } -> extract_node t sub)
+        p.p_inputs
+    in
+    (* Consistency check (§2.2): "generated optimizers verify that the
+       physical properties of a chosen plan really do satisfy the
+       physical property vector given as part of the optimization
+       goal." *)
+    List.iter2
+      (fun (_, ri, _) (c : plan_tree) ->
+        assert (M.pp_covers ~provided:c.props ~required:ri))
+      p.p_inputs children;
+    { alg = p.p_alg; children; props = p.p_props; cost = p.p_cost }
+
+  let extract t g ~required ~excluded : plan_tree =
     let g = Memo.find_root t.memo g in
     match Memo.winner t.memo g (required, excluded) with
     | None | Some { w_plan = None; _ } ->
       invalid_arg "Search.extract: no winning plan recorded for goal"
     | Some { w_plan = Some p; _ } ->
-      (* Consistency check (§2.2): "generated optimizers verify that the
-         physical properties of a chosen plan really do satisfy the
-         physical property vector given as part of the optimization
-         goal." *)
       assert (M.pp_covers ~provided:p.p_props ~required);
-      let children =
-        List.map (fun (gi, ri, ei) -> extract t gi ~required:ri ~excluded:ei) p.p_inputs
-      in
-      { alg = p.p_alg; children; props = p.p_props; cost = p.p_cost }
+      extract_node t p
+
+  (** The best complete plan the run has found so far — the anytime
+      answer. For a finished run this is the winner; for a paused run it
+      is the root goal's best candidate, whose input goals all finished
+      (and were memoized) before the candidate was recorded, so it
+      extracts to a valid, executable plan. *)
+  let best_so_far (run : run) : plan_tree option =
+    let best =
+      match run.r_status with
+      | Some Complete -> run.r_goal.gs_slot.answer
+      | _ -> (
+        match run.r_goal.gs_slot.answer with
+        | Some p -> Some p
+        | None -> run.r_goal.gs_best)
+    in
+    Option.map (fun p -> extract_node run.rt p) best
 
   type outcome = {
-    plan : plan_tree option;  (** [None]: no plan within the cost limit *)
+    plan : plan_tree option;
+        (** [None]: no plan within the cost limit (or none yet within
+            the budget) *)
+    status : status;  (** [Paused _]: the budget ran out; [plan] is anytime *)
+    tasks_run : int;  (** tasks this optimization executed *)
     root_group : Memo.group;
     search_stats : Search_stats.t;
     memo_groups : int;
     memo_mexprs : int;
   }
 
-  (** Optimize a query: insert it, run FindBestPlan for the required
-      properties under the cost limit, and extract the winning plan.
-      A fresh optimizer should be used per query (the paper reinitializes
-      partial results for each query). *)
-  let optimize ?(limit = M.cost_infinite) t (query : M.op Tree.t) ~required : outcome =
-    let root = insert_query t query in
-    let result = find_best t root ~required ~excluded:None ~limit in
-    let plan =
-      match result with
-      | None -> None
-      | Some _ -> Some (extract t root ~required ~excluded:None)
-    in
+  let outcome_of (run : run) : outcome =
+    let status = match run.r_status with Some s -> s | None -> Paused Task_budget in
     {
-      plan;
-      root_group = root;
-      search_stats = t.stats;
-      memo_groups = Memo.n_groups t.memo;
-      memo_mexprs = Memo.n_mexprs t.memo;
+      plan = best_so_far run;
+      status;
+      tasks_run = run.r_tasks;
+      root_group = run.r_root;
+      search_stats = run.rt.stats;
+      memo_groups = Memo.n_groups run.rt.memo;
+      memo_mexprs = Memo.n_mexprs run.rt.memo;
     }
+
+  (** Optimize a query: insert it, run the task engine for the required
+      properties under the cost limit and the searcher's configured
+      budget, and extract the winning (or, under an exhausted budget,
+      the best-so-far) plan. A fresh optimizer should be used per query
+      (the paper reinitializes partial results for each query) unless
+      memo reuse across queries is intended. *)
+  let optimize ?(limit = M.cost_infinite) ?budget t (query : M.op Tree.t) ~required :
+      outcome =
+    let run = start ~limit t query ~required in
+    ignore (resume ?budget run : status);
+    outcome_of run
 
   (* Render the memo: every equivalence class with its logical
      multi-expressions and the winners recorded per optimization goal —

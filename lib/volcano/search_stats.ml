@@ -1,6 +1,52 @@
+type task_kind =
+  | Optimize_group
+  | Explore_group
+  | Optimize_mexpr
+  | Apply_transform
+  | Optimize_inputs
+  | Apply_enforcer
+
+let task_kinds =
+  [
+    Optimize_group;
+    Explore_group;
+    Optimize_mexpr;
+    Apply_transform;
+    Optimize_inputs;
+    Apply_enforcer;
+  ]
+
+let task_kind_index = function
+  | Optimize_group -> 0
+  | Explore_group -> 1
+  | Optimize_mexpr -> 2
+  | Apply_transform -> 3
+  | Optimize_inputs -> 4
+  | Apply_enforcer -> 5
+
+let task_kind_name = function
+  | Optimize_group -> "optimize-group"
+  | Explore_group -> "explore-group"
+  | Optimize_mexpr -> "optimize-mexpr"
+  | Apply_transform -> "apply-transform"
+  | Optimize_inputs -> "optimize-inputs"
+  | Apply_enforcer -> "apply-enforcer"
+
+type trace_event = {
+  ev_seq : int;  (** task sequence number within the searcher *)
+  ev_kind : task_kind;
+  ev_group : int;  (** root group the task operates on *)
+  ev_depth : int;  (** stack depth when the task was popped *)
+}
+
+let pp_trace_event ppf e =
+  Format.fprintf ppf "#%d %s group=%d depth=%d" e.ev_seq (task_kind_name e.ev_kind)
+    e.ev_group e.ev_depth
+
 type t = {
   mutable goals : int;
   mutable goal_hits : int;
+  mutable goal_misses : int;
   mutable groups_created : int;
   mutable mexprs_created : int;
   mutable rule_firings : int;
@@ -9,12 +55,16 @@ type t = {
   mutable failures : int;
   mutable pruned : int;
   mutable merges : int;
+  mutable tasks : int;
+  tasks_by_kind : int array;  (** indexed by [task_kind_index] *)
+  mutable stack_hwm : int;
 }
 
 let create () =
   {
     goals = 0;
     goal_hits = 0;
+    goal_misses = 0;
     groups_created = 0;
     mexprs_created = 0;
     rule_firings = 0;
@@ -23,11 +73,15 @@ let create () =
     failures = 0;
     pruned = 0;
     merges = 0;
+    tasks = 0;
+    tasks_by_kind = Array.make (List.length task_kinds) 0;
+    stack_hwm = 0;
   }
 
 let reset t =
   t.goals <- 0;
   t.goal_hits <- 0;
+  t.goal_misses <- 0;
   t.groups_created <- 0;
   t.mexprs_created <- 0;
   t.rule_firings <- 0;
@@ -35,11 +89,31 @@ let reset t =
   t.enforcer_moves <- 0;
   t.failures <- 0;
   t.pruned <- 0;
-  t.merges <- 0
+  t.merges <- 0;
+  t.tasks <- 0;
+  Array.fill t.tasks_by_kind 0 (Array.length t.tasks_by_kind) 0;
+  t.stack_hwm <- 0
+
+let count_task t kind =
+  t.tasks <- t.tasks + 1;
+  let i = task_kind_index kind in
+  t.tasks_by_kind.(i) <- t.tasks_by_kind.(i) + 1
+
+let tasks_of_kind t kind = t.tasks_by_kind.(task_kind_index kind)
+
+let note_stack_depth t depth = if depth > t.stack_hwm then t.stack_hwm <- depth
 
 let pp ppf t =
   Format.fprintf ppf
-    "goals=%d hits=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d failures=%d \
-     pruned=%d merges=%d"
-    t.goals t.goal_hits t.groups_created t.mexprs_created t.rule_firings t.plans_costed
-    t.enforcer_moves t.failures t.pruned t.merges
+    "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
+     failures=%d pruned=%d merges=%d tasks=%d hwm=%d"
+    t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
+    t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
+
+let pp_tasks ppf t =
+  Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks
+    (String.concat ", "
+       (List.map
+          (fun k -> Printf.sprintf "%s=%d" (task_kind_name k) (tasks_of_kind t k))
+          task_kinds))
+    t.stack_hwm

@@ -1,10 +1,42 @@
 (** Machine-independent search-effort counters. Figure 4 compares
     wall-clock seconds on a SparcStation-1; these counters let the
-    benchmarks report effort in a hardware-neutral way alongside time. *)
+    benchmarks report effort in a hardware-neutral way alongside time.
+
+    Since the search core became an explicit task engine, effort is also
+    accounted per task kind, together with the work-stack high-water
+    mark — the scheduler-level counters industrial transformation-based
+    optimizers expose. *)
+
+(** The task kinds of the search engine's work stack (see
+    {!Search.Make}). Kept here, outside the functor, so stats and
+    tracing are shared across all generated optimizers. *)
+type task_kind =
+  | Optimize_group  (** FindBestPlan for one (group, property, limit) goal *)
+  | Explore_group  (** close a group under the transformation rules *)
+  | Optimize_mexpr  (** enumerate implementation moves of one multi-expression *)
+  | Apply_transform  (** fire one transformation rule on one multi-expression *)
+  | Optimize_inputs  (** optimize one input of a pursued algorithm move *)
+  | Apply_enforcer  (** pursue one enforcer move *)
+
+val task_kinds : task_kind list
+(** All kinds, in display order. *)
+
+val task_kind_name : task_kind -> string
+
+(** One per-task trace record, emitted through the optional trace hook. *)
+type trace_event = {
+  ev_seq : int;  (** task sequence number within the searcher *)
+  ev_kind : task_kind;
+  ev_group : int;  (** root group the task operates on *)
+  ev_depth : int;  (** stack depth when the task was popped *)
+}
+
+val pp_trace_event : Format.formatter -> trace_event -> unit
 
 type t = {
-  mutable goals : int;  (** FindBestPlan invocations that ran a real optimization *)
-  mutable goal_hits : int;  (** FindBestPlan calls answered from the winner table *)
+  mutable goals : int;  (** goals that ran a real optimization *)
+  mutable goal_hits : int;  (** goals answered from the winner table *)
+  mutable goal_misses : int;  (** goal lookups that found no usable entry *)
   mutable groups_created : int;
   mutable mexprs_created : int;
   mutable rule_firings : int;  (** transformation-rule applications *)
@@ -13,10 +45,22 @@ type t = {
   mutable failures : int;  (** goals concluded without a plan within the limit *)
   mutable pruned : int;  (** moves abandoned because the cost limit was exceeded *)
   mutable merges : int;  (** equivalence-class merges from duplicate detection *)
+  mutable tasks : int;  (** total tasks executed by the stepper loop *)
+  tasks_by_kind : int array;  (** per-kind totals; read via {!tasks_of_kind} *)
+  mutable stack_hwm : int;  (** work-stack high-water mark *)
 }
 
 val create : unit -> t
 
 val reset : t -> unit
 
+val count_task : t -> task_kind -> unit
+
+val tasks_of_kind : t -> task_kind -> int
+
+val note_stack_depth : t -> int -> unit
+
 val pp : Format.formatter -> t -> unit
+
+val pp_tasks : Format.formatter -> t -> unit
+(** Render the per-kind task counters and the stack high-water mark. *)

@@ -9,6 +9,7 @@ let () =
       ("volcano", Suite_volcano.suite);
       ("memo", Suite_memo.suite);
       ("search", Suite_search.suite);
+      ("engine", Suite_engine.suite);
       ("relmodel", Suite_relmodel.suite);
       ("executor", Suite_executor.suite);
       ("access_paths", Suite_access_paths.suite);
