@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- every experiment
      dune exec bench/main.exe -- f4      -- just Figure 4
      dune exec bench/main.exe -- a1..a10 -- one ablation
+     dune exec bench/main.exe -- plansrv -- plan-cache service (BENCH_plansrv.json)
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -609,6 +610,126 @@ let a10 ~full () =
     [ 50; 200; 500; 1_000; 2_000; 5_000; 20_000 ]
 
 (* ------------------------------------------------------------------ *)
+(* PLANSRV: the plan-cache service under a repeated workload — warm    *)
+(* hits vs cold optimizations, and concurrent serving throughput.      *)
+(* Writes BENCH_plansrv.json next to the build.                        *)
+(* ------------------------------------------------------------------ *)
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let plansrv_bench ~full () =
+  header "PLANSRV  Plan-cache service: repeated workload, warm vs cold";
+  let replays = if full then 100 else 50 in
+  (* 20 distinct queries over one catalog: the same 5-relation chain
+     under 20 different selection constants — the shape of a
+     parameterized application workload. *)
+  let base = Workload.generate (Workload.spec ~n_relations:5 ~seed:(seed_base + 1100) ()) in
+  let catalog = base.catalog in
+  let first_col = List.hd base.relations ^ ".jk1" in
+  let uniques =
+    List.init 20 (fun i ->
+        Logical.select Expr.(col first_col >=% int (2 * i)) base.logical)
+  in
+  let n_unique = List.length uniques in
+  (* The request stream: every unique query replayed [replays] times, in
+     a deterministically shuffled order. *)
+  let rng = Random.State.make [| seed_base + 1101 |] in
+  let stream = Array.concat (List.init replays (fun _ -> Array.of_list uniques)) in
+  let n = Array.length stream in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = stream.(i) in
+    stream.(i) <- stream.(j);
+    stream.(j) <- tmp
+  done;
+  let request =
+    { (Relmodel.Optimizer.request catalog) with restore_columns = false }
+  in
+  (* Latency profile on one worker: per-response latency is measured
+     inside the service. *)
+  let srv = Plansrv.create (Plansrv.config request) in
+  let w = Plansrv.worker srv in
+  let responses =
+    Array.map (fun q -> Plansrv.serve_one srv w q ~required:Phys_prop.any) stream
+  in
+  let latencies outcome =
+    Array.to_list responses
+    |> List.filter_map (fun (r : Plansrv.response) ->
+           if r.outcome = outcome then Some r.latency_ms else None)
+  in
+  let cold = latencies Plansrv.Miss and warm = latencies Plansrv.Hit in
+  let m = Plansrv.metrics srv in
+  let cold_med = median cold and warm_med = median warm in
+  let speedup = cold_med /. warm_med in
+  Printf.printf
+    "%d unique queries x %d replays = %d requests; hits %d, misses %d (hit rate %.1f%%)\n"
+    n_unique replays n m.hits m.misses
+    (100. *. Float.of_int m.hits /. Float.of_int m.requests);
+  Printf.printf "  cold (optimize) median: %8.3f ms   mean: %8.3f ms\n" cold_med (mean cold);
+  Printf.printf "  warm (cache hit) median: %7.3f ms   mean: %8.3f ms\n" warm_med (mean warm);
+  Printf.printf "  median speedup: %.1fx\n\n" speedup;
+  (* Concurrent throughput: per worker count, a cold run on a fresh
+     service (its misses column counts duplicated optimizations from
+     concurrent workers missing on the same key) and a second, fully
+     warmed run over the same stream. Domains beyond the available
+     cores only add scheduling and GC-synchronization overhead, so read
+     the scaling against the reported core count. *)
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  available cores: %d\n" cores;
+  Printf.printf "  workers | cold (ms) | misses | warm (ms) | warm req/s\n";
+  Printf.printf "  --------+-----------+--------+-----------+-----------\n";
+  let batch = Array.map (fun q -> (q, Phys_prop.any)) stream in
+  let throughput =
+    List.map
+      (fun workers ->
+        let srv = Plansrv.create (Plansrv.config request) in
+        let dt_cold, _ = time_it (fun () -> ignore (Plansrv.serve ~workers srv batch)) in
+        let misses = (Plansrv.metrics srv).misses in
+        let dt_warm, _ = time_it (fun () -> ignore (Plansrv.serve ~workers srv batch)) in
+        let rps = Float.of_int n /. dt_warm in
+        Printf.printf "  %7d | %9.1f | %6d | %9.1f | %.0f\n%!" workers (dt_cold *. 1000.)
+          misses (dt_warm *. 1000.) rps;
+        (workers, dt_cold *. 1000., misses, dt_warm *. 1000., rps))
+      [ 1; 2; 4 ]
+  in
+  let oc = open_out "BENCH_plansrv.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unique_queries\": %d,\n\
+    \  \"replays\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"hit_rate\": %.4f,\n\
+    \  \"cold_median_ms\": %.4f,\n\
+    \  \"cold_mean_ms\": %.4f,\n\
+    \  \"warm_median_ms\": %.4f,\n\
+    \  \"warm_mean_ms\": %.4f,\n\
+    \  \"median_speedup\": %.1f,\n\
+    \  \"evictions\": %d,\n\
+    \  \"entries\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"throughput\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    n_unique replays n m.hits m.misses
+    (Float.of_int m.hits /. Float.of_int m.requests)
+    cold_med (mean cold) warm_med (mean warm) speedup m.evictions m.entries cores
+    (String.concat ",\n"
+       (List.map
+          (fun (w, cold_ms, misses, warm_ms, rps) ->
+            Printf.sprintf
+              "    { \"workers\": %d, \"cold_wall_ms\": %.1f, \"cold_misses\": %d, \
+               \"warm_wall_ms\": %.1f, \"warm_req_per_s\": %.0f }"
+              w cold_ms misses warm_ms rps)
+          throughput));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_plansrv.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -699,5 +820,6 @@ let () =
   if want "a8" then a8 ~full ();
   if want "a9" then a9 ~full ();
   if want "a10" then a10 ~full ();
+  if want "plansrv" then plansrv_bench ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

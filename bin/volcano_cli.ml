@@ -6,7 +6,10 @@
                or compare with the EXODUS-style baseline
      tables    list the demo catalog
      workload  generate and optimize one paper-style random query
-     repl      interactive SQL session with a shared optimizer memo *)
+     repl      interactive SQL session with a shared optimizer memo
+     serve     line-oriented optimization service over stdin or a batch
+               file: fingerprinted plan cache, optional concurrent
+               workers, cache observability counters *)
 
 open Relalg
 
@@ -74,6 +77,10 @@ let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeo
       }
     in
     let result = Relmodel.Optimizer.optimize request logical ~required in
+    if trace then
+      (* Close the per-task trace with the per-kind counters it drilled
+         into, whether or not a plan was found. *)
+      Format.eprintf "trace summary: %a@." Volcano.Search_stats.pp_tasks result.stats;
     if not result.complete then
       Format.printf
         "Budget exhausted after %d tasks; showing the best plan found so far.@.@."
@@ -128,23 +135,95 @@ let run_repl () =
     match In_channel.input_line stdin with
     | None | Some "" -> 0
     | Some line -> begin
-      (match Sqlfront.parse catalog line with
-       | exception Sqlfront.Parse_error msg -> Format.printf "parse error: %s@." msg
-       | { logical; required } -> begin
-         match (Relmodel.Optimizer.optimize_in session logical ~required).plan with
-         | None -> Format.printf "no plan@."
-         | Some plan ->
-           Format.printf "%s@." (Relmodel.Optimizer.explain plan);
-           let rows, schema, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
-           Format.printf "%s@." (String.concat " | " (Schema.names schema));
-           Array.iteri (fun i t -> if i < 10 then Format.printf "%a@." Tuple.pp t) rows;
-           if Array.length rows > 10 then
-             Format.printf "... (%d rows total)@." (Array.length rows)
-       end);
+      (* Any failure — parse, optimize, or execute — is reported and
+         the session (with its shared memo) survives for the next
+         statement. *)
+      (try
+         match Sqlfront.parse catalog line with
+         | exception Sqlfront.Parse_error msg -> Format.printf "parse error: %s@." msg
+         | { logical; required } -> begin
+           match (Relmodel.Optimizer.optimize_in session logical ~required).plan with
+           | None -> Format.printf "no plan@."
+           | Some plan ->
+             Format.printf "%s@." (Relmodel.Optimizer.explain plan);
+             let rows, schema, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+             Format.printf "%s@." (String.concat " | " (Schema.names schema));
+             Array.iteri (fun i t -> if i < 10 then Format.printf "%a@." Tuple.pp t) rows;
+             if Array.length rows > 10 then
+               Format.printf "... (%d rows total)@." (Array.length rows)
+         end
+       with
+      | Stack_overflow | Out_of_memory -> Format.printf "error: resource exhausted@."
+      | exn -> Format.printf "error: %s@." (Printexc.to_string exn));
       loop ()
     end
   in
   loop ()
+
+let run_serve file workers capacity shards parameterize =
+  let catalog = demo_catalog () in
+  let srv =
+    Plansrv.create
+      (Plansrv.config ~capacity ~shards ~parameterize
+         (Relmodel.Optimizer.request catalog))
+  in
+  let lines =
+    match file with
+    | Some path -> In_channel.with_open_text path In_channel.input_lines
+    | None -> In_channel.input_lines stdin
+  in
+  let statements =
+    List.filter
+      (fun line ->
+        let line = String.trim line in
+        line <> "" && line.[0] <> '#')
+      lines
+  in
+  let parsed =
+    List.filter_map
+      (fun line ->
+        match Sqlfront.parse catalog line with
+        | exception Sqlfront.Parse_error msg ->
+          Format.eprintf "parse error (skipped): %s  -- %s@." msg line;
+          None
+        | { Sqlfront.logical; required } -> Some (line, logical, required))
+      statements
+  in
+  if parsed = [] then begin
+    Format.eprintf "no statements to serve@.";
+    1
+  end
+  else begin
+    let requests =
+      Array.of_list (List.map (fun (_, logical, required) -> (logical, required)) parsed)
+    in
+    let responses = Plansrv.serve ~workers srv requests in
+    List.iteri
+      (fun i (line, _, _) ->
+        let r = responses.(i) in
+        let outcome =
+          match r.Plansrv.outcome with
+          | Plansrv.Hit -> "HIT"
+          | Plansrv.Miss -> "MISS"
+          | Plansrv.Invalidated -> "STALE"
+        in
+        let cost =
+          match r.Plansrv.plan with
+          | Some plan -> Cost.to_string plan.cost
+          | None -> "no plan"
+        in
+        let fp =
+          if String.length r.Plansrv.fingerprint <= 32 then r.Plansrv.fingerprint
+          else String.sub r.Plansrv.fingerprint 0 32 ^ "..."
+        in
+        Format.printf "%-5s %8.3f ms  cost %-14s %s%s  [%s]@." outcome
+          r.Plansrv.latency_ms cost
+          (if r.Plansrv.parameterized then "param " else "")
+          line fp)
+      parsed;
+    Format.printf "@.%a@." Plansrv.pp_metrics (Plansrv.metrics srv);
+    0
+  end
 
 let run_workload n seed =
   let spec = Workload.spec ~n_relations:n ~seed () in
@@ -159,7 +238,8 @@ let run_workload n seed =
    | Some plan ->
      Format.printf "Best plan (cost %s):@.%s@.@." (Cost.to_string plan.cost)
        (Relmodel.Optimizer.explain plan);
-     Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats);
+     Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats;
+     Format.printf "Tasks: %a@." Volcano.Search_stats.pp_tasks result.stats);
   0
 
 open Cmdliner
@@ -218,6 +298,42 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive SQL session over the demo catalog")
     Term.(const run_repl $ const ())
 
+let serve_cmd =
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"FILE"
+          ~doc:"Read SQL statements (one per line, # comments) from $(docv) instead of stdin.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N" ~doc:"Serving domains pulling from the request queue.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "capacity" ] ~docv:"N" ~doc:"Total plan-cache entries across all shards.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N" ~doc:"Independently locked cache shards.")
+  in
+  let parameterize =
+    Arg.(
+      value & flag
+      & info [ "parameterize" ]
+          ~doc:
+            "Erase the single numeric literal from fingerprints so one dynamic-plan \
+             entry serves a whole range of constants.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
+    Term.(const run_serve $ file $ workers $ capacity $ shards $ parameterize)
+
 let workload_cmd =
   let n =
     Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of input relations (2-10).")
@@ -230,4 +346,6 @@ let workload_cmd =
 let () =
   let doc = "The Volcano optimizer generator (Graefe & McKenna, ICDE 1993)" in
   let info = Cmd.info "volcano-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))

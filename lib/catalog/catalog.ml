@@ -6,15 +6,23 @@ type table = {
   name : string;
   schema : Relalg.Schema.t;
   tuples : Relalg.Tuple.t array;
-  stats : Stats.t;
+  mutable stats : Stats.t;
+  mutable stats_version : int;
   stored_order : Relalg.Sort_order.t;
   stored_partitioning : Relalg.Phys_prop.partitioning;
   mutable indexes : string list list;
 }
 
-type t = (string, table) Hashtbl.t
+type t = {
+  tables : (string, table) Hashtbl.t;
+  mutable catalog_version : int;
+}
 
-let create () = Hashtbl.create 16
+let create () = { tables = Hashtbl.create 16; catalog_version = 0 }
+
+let version registry = registry.catalog_version
+
+let bump registry = registry.catalog_version <- registry.catalog_version + 1
 
 let qualify_schema name schema =
   Array.map
@@ -25,29 +33,50 @@ let qualify_schema name schema =
 
 let add registry ~name ~schema ?(stored_order = [])
     ?(stored_partitioning = Relalg.Phys_prop.Singleton) tuples =
-  if Hashtbl.mem registry name then
+  if Hashtbl.mem registry.tables name then
     invalid_arg (Printf.sprintf "Catalog.add: table %S already exists" name);
   let schema = qualify_schema name schema in
   let stats = Stats.of_tuples schema tuples in
   let table =
-    { name; schema; tuples; stats; stored_order; stored_partitioning; indexes = [] }
+    {
+      name;
+      schema;
+      tuples;
+      stats;
+      stats_version = 0;
+      stored_order;
+      stored_partitioning;
+      indexes = [];
+    }
   in
-  Hashtbl.add registry name table;
+  Hashtbl.add registry.tables name table;
+  bump registry;
   table
 
-let find registry name = Hashtbl.find registry name
+let find registry name = Hashtbl.find registry.tables name
 
 let add_index registry ~table columns =
   let t = find registry table in
   let qualified = List.map (Relalg.Schema.resolve t.schema) columns in
-  if not (List.mem qualified t.indexes) then t.indexes <- qualified :: t.indexes
+  if not (List.mem qualified t.indexes) then begin
+    t.indexes <- qualified :: t.indexes;
+    bump registry
+  end
 
-let find_opt registry name = Hashtbl.find_opt registry name
+let stats_version registry name = (find registry name).stats_version
 
-let mem registry name = Hashtbl.mem registry name
+let update_stats registry ~table ?stats () =
+  let t = find registry table in
+  t.stats <- (match stats with Some s -> s | None -> Stats.of_tuples t.schema t.tuples);
+  t.stats_version <- t.stats_version + 1;
+  bump registry
+
+let find_opt registry name = Hashtbl.find_opt registry.tables name
+
+let mem registry name = Hashtbl.mem registry.tables name
 
 let tables registry =
-  Hashtbl.fold (fun _ t acc -> t :: acc) registry []
+  Hashtbl.fold (fun _ t acc -> t :: acc) registry.tables []
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let base_props table =

@@ -10,7 +10,10 @@ type table = {
   name : string;
   schema : Relalg.Schema.t;  (** columns carry qualified names ["table.col"] *)
   tuples : Relalg.Tuple.t array;
-  stats : Stats.t;
+  mutable stats : Stats.t;  (** refreshed through {!update_stats} *)
+  mutable stats_version : int;
+      (** bumped on every {!update_stats}; plan caches stamp their
+          entries with it and invalidate on mismatch *)
   stored_order : Relalg.Sort_order.t;
       (** physical order of the stored data ([[]] = unordered heap) *)
   stored_partitioning : Relalg.Phys_prop.partitioning;
@@ -43,6 +46,29 @@ val find : t -> string -> table
 
 val add_index : t -> table:string -> string list -> unit
 (** Register an index on the named table (columns may be unqualified).
+    @raise Not_found if the table is absent. *)
+
+(** {1 Statistics versioning}
+
+    Optimizer results are only as good as the statistics they were
+    computed from. Every table carries a statistics version stamp, and
+    the catalog carries a global version covering every change that can
+    affect plan choice (new tables, new indexes, refreshed statistics).
+    Long-lived consumers — plan caches, optimizer sessions — record the
+    stamps they optimized under and treat a mismatch as staleness. *)
+
+val version : t -> int
+(** Global catalog version: bumped by {!add}, {!add_index}, and
+    {!update_stats}. *)
+
+val stats_version : t -> string -> int
+(** Per-table statistics version.
+    @raise Not_found if the table is absent. *)
+
+val update_stats : t -> table:string -> ?stats:Stats.t -> unit -> unit
+(** Install new statistics for a table — recomputed from the stored
+    tuples when [stats] is omitted — and bump both the table's stats
+    version and the catalog version.
     @raise Not_found if the table is absent. *)
 
 val find_opt : t -> string -> table option

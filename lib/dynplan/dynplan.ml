@@ -56,6 +56,13 @@ let instantiate (plan : Relmodel.Optimizer.plan_node) ~witness ~actual : Physica
   in
   go plan
 
+let instantiate_node (plan : Relmodel.Optimizer.plan_node) ~witness ~actual :
+    Relmodel.Optimizer.plan_node =
+  let rec go (p : Relmodel.Optimizer.plan_node) =
+    { p with alg = subst_alg ~witness ~actual p.alg; children = List.map go p.children }
+  in
+  go plan
+
 (* Plan shape, with the parameter constant erased, for merging buckets
    that chose the same plan. *)
 let shape_of (plan : Relmodel.Optimizer.plan_node) ~witness =

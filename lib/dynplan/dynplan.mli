@@ -53,6 +53,14 @@ val instantiate :
 (** Substitute the actual parameter for the witness constant throughout
     the plan's predicates, yielding an executable plan. *)
 
+val instantiate_node :
+  Relmodel.Optimizer.plan_node -> witness:float -> actual:Relalg.Value.t ->
+  Relmodel.Optimizer.plan_node
+(** Like {!instantiate} but preserving the per-node property and cost
+    annotations (the costs remain those of the witness optimization).
+    Used by the plan cache to hand out annotated plans from
+    parameterized entries. *)
+
 val execute :
   Catalog.t -> t -> param:Relalg.Value.t ->
   Relalg.Tuple.t array * Relalg.Schema.t * Executor.Io_stats.t

@@ -1,0 +1,97 @@
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;  (* MRU *)
+  mutable last : 'a node option;  (* LRU *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); first = None; last = None }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.first <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.first;
+  (match t.first with
+   | Some f -> f.prev <- Some node
+   | None -> t.last <- Some node);
+  t.first <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table key)
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key;
+    Some node.value
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+   | Some node ->
+     node.value <- value;
+     unlink t node;
+     push_front t node
+   | None ->
+     let node = { key; value; prev = None; next = None } in
+     Hashtbl.replace t.table key node;
+     push_front t node);
+  if Hashtbl.length t.table <= t.cap then None
+  else
+    match t.last with
+    | None -> None
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.key;
+      Some (lru.key, lru.value)
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      f node.key node.value;
+      go next
+  in
+  go t.first
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let remove_if t pred =
+  let doomed = ref [] in
+  iter (fun k v -> if pred k v then doomed := (k, v) :: !doomed) t;
+  List.iter (fun (k, _) -> ignore (remove t k)) !doomed;
+  List.rev !doomed

@@ -1,0 +1,38 @@
+(** A bounded least-recently-used map with string keys.
+
+    The plan cache's storage layer: O(1) lookup, insertion, and
+    eviction via a hash table over an intrusive doubly-linked recency
+    list. Not thread-safe — {!Plansrv} wraps one instance per shard
+    behind a mutex. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup and promote the entry to most-recently-used. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without touching recency. *)
+
+val add : 'a t -> string -> 'a -> (string * 'a) option
+(** Insert (or replace) at most-recently-used; returns the evicted
+    least-recently-used binding when the insert pushed the map over
+    capacity. *)
+
+val remove : 'a t -> string -> 'a option
+
+val remove_if : 'a t -> (string -> 'a -> bool) -> (string * 'a) list
+(** Remove every binding satisfying the predicate (targeted
+    invalidation); returns the removed bindings. *)
+
+val iter : (string -> 'a -> unit) -> 'a t -> unit
+(** Most-recently-used first. *)
+
+val to_list : 'a t -> (string * 'a) list
+(** Bindings, most-recently-used first. *)

@@ -1,0 +1,389 @@
+module Lru = Lru
+module Fingerprint = Fingerprint
+
+type config = {
+  request : Relmodel.Optimizer.request;
+  capacity : int;
+  shards : int;
+  parameterize : bool;
+  dyn_buckets : int;
+}
+
+let config ?(capacity = 512) ?(shards = 8) ?(parameterize = false) ?(dyn_buckets = 8)
+    request =
+  if capacity < 1 then invalid_arg "Plansrv.config: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Plansrv.config: shards must be >= 1";
+  { request; capacity; shards; parameterize; dyn_buckets }
+
+type cached = {
+  plan : Relmodel.Optimizer.plan_node;
+  search : Volcano.Search_stats.t;  (** per-query delta that produced the plan *)
+  tasks_run : int;
+}
+
+type payload =
+  | Static of cached
+  | Dynamic of Dynplan.t
+
+type entry = {
+  stamps : (string * int) list;  (** table -> stats_version at optimization *)
+  tables : string list;
+  payload : payload;
+  mutable serve_count : int;
+}
+
+type shard = {
+  lock : Mutex.t;
+  cache : entry Lru.t;
+}
+
+(* Hot-path counters are atomics, not a mutex: every request records an
+   outcome, and a single shared lock here serializes the whole service
+   (and costs a futex round-trip per request under contention).
+   Latency accumulates in integer nanoseconds so sums and maxima stay
+   lock-free too. The merged search stats are mutex-guarded ([stats_lock])
+   but only touched on the miss path. *)
+type counters = {
+  requests : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+  evictions : int Atomic.t;
+  param_served : int Atomic.t;
+  cold_count : int Atomic.t;
+  cold_ns_sum : int Atomic.t;
+  cold_ns_max : int Atomic.t;
+  warm_count : int Atomic.t;
+  warm_ns_sum : int Atomic.t;
+  warm_ns_max : int Atomic.t;
+  search : Volcano.Search_stats.t;
+}
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+type t = {
+  cfg : config;
+  shard_tbl : shard array;
+  stats_lock : Mutex.t;
+  counters : counters;
+}
+
+let create cfg =
+  let shard_capacity = max 1 ((cfg.capacity + cfg.shards - 1) / cfg.shards) in
+  {
+    cfg;
+    shard_tbl =
+      Array.init cfg.shards (fun _ ->
+          { lock = Mutex.create (); cache = Lru.create ~capacity:shard_capacity });
+    stats_lock = Mutex.create ();
+    counters =
+      {
+        requests = Atomic.make 0;
+        hits = Atomic.make 0;
+        misses = Atomic.make 0;
+        invalidations = Atomic.make 0;
+        evictions = Atomic.make 0;
+        param_served = Atomic.make 0;
+        cold_count = Atomic.make 0;
+        cold_ns_sum = Atomic.make 0;
+        cold_ns_max = Atomic.make 0;
+        warm_count = Atomic.make 0;
+        warm_ns_sum = Atomic.make 0;
+        warm_ns_max = Atomic.make 0;
+        search = Volcano.Search_stats.create ();
+      };
+  }
+
+let shard_of t hash = t.shard_tbl.(hash mod Array.length t.shard_tbl)
+
+type outcome =
+  | Hit
+  | Miss
+  | Invalidated
+
+type response = {
+  plan : Relmodel.Optimizer.plan_node option;
+  outcome : outcome;
+  parameterized : bool;
+  latency_ms : float;
+  fingerprint : string;
+}
+
+(* ---------- workers ---------- *)
+
+type worker = {
+  mutable session : Relmodel.Optimizer.session;
+  mutable epoch : int;  (** catalog version the session was created under *)
+  mutable stats_mark : Volcano.Search_stats.t;
+      (** snapshot of the session's cumulative stats, for per-query deltas *)
+}
+
+let worker t =
+  {
+    session = Relmodel.Optimizer.session t.cfg.request;
+    epoch = Catalog.version t.cfg.request.catalog;
+    stats_mark = Volcano.Search_stats.create ();
+  }
+
+(* A session's memo holds winners computed under the statistics current
+   at optimization time; any catalog change makes them unreliable, so
+   the worker renews its session (fresh memo) on an epoch mismatch. *)
+let ensure_fresh_session t w =
+  let v = Catalog.version t.cfg.request.catalog in
+  if v <> w.epoch then begin
+    w.session <- Relmodel.Optimizer.session t.cfg.request;
+    w.epoch <- v;
+    w.stats_mark <- Volcano.Search_stats.create ()
+  end
+
+(* ---------- miss path ---------- *)
+
+let stamps_of t (fp : Fingerprint.t) =
+  List.map (fun tb -> (tb, Catalog.stats_version t.cfg.request.catalog tb)) fp.tables
+
+let stamps_fresh t stamps =
+  List.for_all
+    (fun (tb, v) -> Catalog.stats_version t.cfg.request.catalog tb = v)
+    stamps
+
+(* The statistics range of the column the parameter is compared
+   against; the Dynplan bucket grid spans it. *)
+let param_range t column =
+  match String.index_opt column '.' with
+  | None -> None
+  | Some i -> begin
+    match Catalog.find_opt t.cfg.request.catalog (String.sub column 0 i) with
+    | None -> None
+    | Some table -> begin
+      match Catalog.Stats.column table.Catalog.stats column with
+      | None -> None
+      | Some cs -> begin
+        match cs.Catalog.Stats.min_value, cs.Catalog.Stats.max_value with
+        | Some mn, Some mx -> begin
+          match Relalg.Value.to_float mn, Relalg.Value.to_float mx with
+          | Some lo, Some hi when lo < hi -> Some (lo, hi)
+          | _, _ -> None
+        end
+        | _, _ -> None
+      end
+    end
+  end
+
+let optimize_static t w canonical required =
+  ensure_fresh_session t w;
+  let result = Relmodel.Optimizer.optimize_in w.session canonical ~required in
+  let delta = Volcano.Search_stats.diff ~since:w.stats_mark result.stats in
+  w.stats_mark <- Volcano.Search_stats.copy result.stats;
+  Mutex.protect t.stats_lock (fun () ->
+      Volcano.Search_stats.merge ~into:t.counters.search delta);
+  Option.map
+    (fun plan -> Static { plan; search = delta; tasks_run = result.tasks_run })
+    result.plan
+
+(* Parameterized miss: optimize the literal-erased template once per
+   bucket. Any failure (no statistics range, a bucket without a plan)
+   falls back to a static entry for the concrete literal. *)
+let optimize_payload t w (fp : Fingerprint.t) canonical required =
+  match fp.param with
+  | Some (column, _) when t.cfg.parameterize -> begin
+    match param_range t column with
+    | None -> optimize_static t w canonical required
+    | Some range -> begin
+      let template v = Fingerprint.with_parameter canonical v in
+      match
+        Dynplan.prepare ~request:t.cfg.request template ~range
+          ~buckets:t.cfg.dyn_buckets ~required ()
+      with
+      | dyn -> Some (Dynamic dyn)
+      | exception Invalid_argument _ -> optimize_static t w canonical required
+    end
+  end
+  | Some _ | None -> optimize_static t w canonical required
+
+let plan_of_payload payload (fp : Fingerprint.t) =
+  match payload, fp.param with
+  | Static c, _ -> (Some c.plan, false)
+  | Dynamic dyn, Some (_, value) ->
+    let b = Dynplan.choose dyn value in
+    (Some (Dynplan.instantiate_node b.Dynplan.plan ~witness:b.Dynplan.witness ~actual:value), true)
+  | Dynamic dyn, None ->
+    (* Unreachable: a Dynamic entry's key has its literal erased, so any
+       request hashing to it carries a param slot. Serve the static
+       fallback plan rather than failing. *)
+    (Some dyn.Dynplan.static_plan, true)
+
+(* ---------- serving ---------- *)
+
+let record_latency t outcome parameterized dt_ms =
+  let c = t.counters in
+  let dt_ns = int_of_float (dt_ms *. 1e6) in
+  ignore (Atomic.fetch_and_add c.requests 1);
+  if parameterized then ignore (Atomic.fetch_and_add c.param_served 1);
+  match outcome with
+  | Hit ->
+    ignore (Atomic.fetch_and_add c.hits 1);
+    ignore (Atomic.fetch_and_add c.warm_count 1);
+    ignore (Atomic.fetch_and_add c.warm_ns_sum dt_ns);
+    atomic_max c.warm_ns_max dt_ns
+  | Miss | Invalidated ->
+    ignore (Atomic.fetch_and_add c.misses 1);
+    if outcome = Invalidated then ignore (Atomic.fetch_and_add c.invalidations 1);
+    ignore (Atomic.fetch_and_add c.cold_count 1);
+    ignore (Atomic.fetch_and_add c.cold_ns_sum dt_ns);
+    atomic_max c.cold_ns_max dt_ns
+
+let count_eviction t = ignore (Atomic.fetch_and_add t.counters.evictions 1)
+
+let serve_one t w query ~required =
+  let t0 = Unix.gettimeofday () in
+  let fp, canonical =
+    Fingerprint.of_query ~parameterize:t.cfg.parameterize query ~required
+  in
+  let shard = shard_of t fp.Fingerprint.hash in
+  let lookup =
+    Mutex.protect shard.lock (fun () ->
+        match Lru.find shard.cache fp.Fingerprint.key with
+        | None -> `Empty
+        | Some entry ->
+          if stamps_fresh t entry.stamps then begin
+            entry.serve_count <- entry.serve_count + 1;
+            `Fresh entry.payload
+          end
+          else begin
+            ignore (Lru.remove shard.cache fp.Fingerprint.key);
+            `Stale
+          end)
+  in
+  let finish outcome payload =
+    let plan, parameterized =
+      match payload with
+      | Some p -> plan_of_payload p fp
+      | None -> (None, false)
+    in
+    let dt_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    record_latency t outcome parameterized dt_ms;
+    { plan; outcome; parameterized; latency_ms = dt_ms; fingerprint = fp.Fingerprint.key }
+  in
+  match lookup with
+  | `Fresh payload -> finish Hit (Some payload)
+  | (`Empty | `Stale) as miss ->
+    (* Optimize outside the shard lock: concurrent workers missing on
+       the same key duplicate work but — optimization being
+       deterministic — insert identical entries. *)
+    let stamps = stamps_of t fp in
+    let payload = optimize_payload t w fp canonical required in
+    (match payload with
+     | None -> ()
+     | Some payload ->
+       let entry =
+         { stamps; tables = fp.Fingerprint.tables; payload; serve_count = 0 }
+       in
+       let evicted =
+         Mutex.protect shard.lock (fun () -> Lru.add shard.cache fp.Fingerprint.key entry)
+       in
+       if Option.is_some evicted then count_eviction t);
+    finish (match miss with `Empty -> Miss | `Stale -> Invalidated) payload
+
+let serve ?(workers = 1) t requests =
+  let n = Array.length requests in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let work () =
+    let w = worker t in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let query, required = requests.(i) in
+        results.(i) <- Some (serve_one t w query ~required);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if workers <= 1 then work ()
+  else List.iter Domain.join (List.init workers (fun _ -> Domain.spawn work));
+  Array.map (function Some r -> r | None -> assert false) results
+
+(* ---------- invalidation ---------- *)
+
+let invalidate_table t table =
+  let dropped =
+    Array.fold_left
+      (fun acc shard ->
+        acc
+        + Mutex.protect shard.lock (fun () ->
+              List.length
+                (Lru.remove_if shard.cache (fun _ entry ->
+                     List.mem table entry.tables))))
+      0 t.shard_tbl
+  in
+  if dropped > 0 then ignore (Atomic.fetch_and_add t.counters.invalidations dropped);
+  dropped
+
+(* ---------- observability ---------- *)
+
+type latency = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+}
+
+type metrics = {
+  requests : int;
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  param_served : int;
+  entries : int;
+  cold : latency;
+  warm : latency;
+  search : Volcano.Search_stats.t;
+}
+
+let metrics t =
+  let entries =
+    Array.fold_left
+      (fun acc shard -> acc + Mutex.protect shard.lock (fun () -> Lru.length shard.cache))
+      0 t.shard_tbl
+  in
+  let c = t.counters in
+  let lat count sum mx =
+    let count = Atomic.get count in
+    {
+      count;
+      mean_ms =
+        (if count = 0 then 0. else float_of_int (Atomic.get sum) /. 1e6 /. float_of_int count);
+      max_ms = float_of_int (Atomic.get mx) /. 1e6;
+    }
+  in
+  let search =
+    Mutex.protect t.stats_lock (fun () -> Volcano.Search_stats.copy c.search)
+  in
+  {
+    requests = Atomic.get c.requests;
+    hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    invalidations = Atomic.get c.invalidations;
+    evictions = Atomic.get c.evictions;
+    param_served = Atomic.get c.param_served;
+    entries;
+    cold = lat c.cold_count c.cold_ns_sum c.cold_ns_max;
+    warm = lat c.warm_count c.warm_ns_sum c.warm_ns_max;
+    search;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>requests=%d hits=%d misses=%d (hit rate %.1f%%)@,\
+     invalidations=%d evictions=%d parameterized=%d entries=%d@,\
+     warm: n=%d mean=%.3fms max=%.3fms@,\
+     cold: n=%d mean=%.3fms max=%.3fms@,\
+     search effort (misses): %a@]"
+    m.requests m.hits m.misses
+    (if m.requests = 0 then 0. else 100. *. float_of_int m.hits /. float_of_int m.requests)
+    m.invalidations m.evictions m.param_served m.entries m.warm.count m.warm.mean_ms
+    m.warm.max_ms m.cold.count m.cold.mean_ms m.cold.max_ms Volcano.Search_stats.pp
+    m.search

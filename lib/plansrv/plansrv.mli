@@ -1,0 +1,124 @@
+(** The optimization service: a sharded, bounded plan cache in front of
+    {!Relmodel.Optimizer}, served concurrently by OCaml domains.
+
+    In a system serving heavy repeated traffic, plan caching — not plan
+    search — absorbs most query arrivals. A request is fingerprinted
+    ({!Fingerprint}), routed to a cache shard by key hash, and answered
+    from the cache when a fresh entry exists; otherwise the worker's
+    own optimizer session optimizes the canonical form, populates the
+    cache, and answers. Entries are stamped with the catalog statistics
+    versions they were optimized under and invalidated lazily when the
+    statistics change. Parameterized entries delegate to {!Dynplan}
+    buckets, so one cached template serves a whole range of literal
+    values.
+
+    Serving is deterministic: every response carries the plan the
+    sequential optimizer would produce for the canonical form of the
+    query, regardless of worker count, scheduling, or cache state. *)
+
+module Lru = Lru
+module Fingerprint = Fingerprint
+
+type config = {
+  request : Relmodel.Optimizer.request;
+      (** optimizer configuration used by every worker session and
+          cache-miss optimization *)
+  capacity : int;  (** total cached entries, divided across shards *)
+  shards : int;  (** independently locked cache shards *)
+  parameterize : bool;
+      (** erase the single numeric literal from fingerprints and back
+          the entry with {!Dynplan} buckets *)
+  dyn_buckets : int;  (** buckets per parameterized entry *)
+}
+
+val config :
+  ?capacity:int ->
+  ?shards:int ->
+  ?parameterize:bool ->
+  ?dyn_buckets:int ->
+  Relmodel.Optimizer.request ->
+  config
+(** Defaults: capacity 512, 8 shards, parameterization off, 8 buckets. *)
+
+type t
+
+val create : config -> t
+
+(** How a request was answered. *)
+type outcome =
+  | Hit  (** fresh cache entry *)
+  | Miss  (** no entry; optimized and populated *)
+  | Invalidated
+      (** an entry existed but its statistics stamps were stale: the
+          entry was evicted, the query re-optimized and re-populated *)
+
+type response = {
+  plan : Relmodel.Optimizer.plan_node option;
+      (** the winning plan for the {e canonical} form of the query
+          ([None] only when optimization itself finds no plan) *)
+  outcome : outcome;
+  parameterized : bool;  (** answered through a {!Dynplan}-backed entry *)
+  latency_ms : float;
+  fingerprint : string;  (** full cache key *)
+}
+
+(** {1 Serving} *)
+
+type worker
+(** A serving worker: an optimizer session plus the catalog epoch it
+    was created under. Workers are single-threaded; create one per
+    domain. *)
+
+val worker : t -> worker
+
+val serve_one : t -> worker -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> response
+(** Serve a single request on this worker (the line-at-a-time loop of
+    [volcano-cli serve]). *)
+
+val serve :
+  ?workers:int ->
+  t ->
+  (Relalg.Logical.expr * Relalg.Phys_prop.t) array ->
+  response array
+(** Serve a batch: [workers] domains (default 1 = run on the calling
+    domain) pull requests from a shared queue until it drains.
+    [results.(i)] answers [requests.(i)]. *)
+
+(** {1 Invalidation} *)
+
+val invalidate_table : t -> string -> int
+(** Proactively drop every cache entry whose fingerprint references the
+    named table, returning how many were dropped. (Entries are also
+    invalidated lazily on lookup via statistics version stamps; this
+    sweep is for operators who want the space back immediately.) *)
+
+(** {1 Observability} *)
+
+type latency = {
+  count : int;
+  mean_ms : float;
+  max_ms : float;
+}
+
+type metrics = {
+  requests : int;
+  hits : int;
+  misses : int;
+  invalidations : int;  (** stale-stamp evictions plus proactive sweeps *)
+  evictions : int;  (** capacity evictions *)
+  param_served : int;  (** requests answered through parameterized entries *)
+  entries : int;  (** current cache population across shards *)
+  cold : latency;  (** misses and invalidations: full optimization *)
+  warm : latency;  (** hits: cache lookup *)
+  search : Volcano.Search_stats.t;
+      (** merged search effort of every cache-miss optimization *)
+}
+
+val metrics : t -> metrics
+(** Counters are exact totals (lock-free atomics on the serving path);
+    a snapshot taken while requests are in flight may observe a request
+    whose outcome counter is updated but whose latency is not yet, so
+    cross-counter identities (e.g. warm.count = hits) are guaranteed
+    only at quiescence. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -44,7 +44,24 @@ let request catalog =
 let rec to_physical_raw (p : plan_node) : Relalg.Physical.plan =
   Relalg.Physical.mk p.alg (List.map to_physical_raw p.children)
 
-let optimize req (query : Relalg.Logical.expr) ~required : result =
+(* Join commutativity can leave the winning plan's columns in a
+   different order than the query's logical schema; restore the
+   logical order with a (free at this scale) final projection. *)
+let restore_column_order req query (p : plan_node) : plan_node =
+  let logical_names = Relalg.Schema.names (Derive.expr req.catalog query).schema in
+  let physical_names =
+    Relalg.Schema.names (Catalog.plan_schema req.catalog (to_physical_raw p))
+  in
+  if List.equal String.equal logical_names physical_names then p
+  else
+    {
+      alg = Relalg.Physical.Project_cols logical_names;
+      children = [ p ];
+      props = p.props;
+      cost = p.cost;
+    }
+
+let make_searcher req =
   let (module M : Rel_model.REL_MODEL) =
     Rel_model.make ~catalog:req.catalog ~params:req.params ~flags:req.flags ()
   in
@@ -58,39 +75,29 @@ let optimize req (query : Relalg.Logical.expr) ~required : result =
     }
   in
   let opt = S.create ~config () in
-  let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
-  let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
-  let rec convert (p : S.plan_tree) : plan_node =
-    { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
-  in
-  (* Join commutativity can leave the winning plan's columns in a
-     different order than the query's logical schema; restore the
-     logical order with a (free at this scale) final projection. *)
-  let restore_column_order (p : plan_node) : plan_node =
-    let logical_names = Relalg.Schema.names (Derive.expr req.catalog query).schema in
-    let physical_names =
-      Relalg.Schema.names (Catalog.plan_schema req.catalog (to_physical_raw p))
+  let run (query : Relalg.Logical.expr) required : result =
+    let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
+    let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
+    let rec convert (p : S.plan_tree) : plan_node =
+      { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
     in
-    if List.equal String.equal logical_names physical_names then p
-    else
-      {
-        alg = Relalg.Physical.Project_cols logical_names;
-        children = [ p ];
-        props = p.props;
-        cost = p.cost;
-      }
+    let finish p =
+      if req.restore_columns then restore_column_order req query (convert p)
+      else convert p
+    in
+    {
+      plan = Option.map finish outcome.plan;
+      complete = (outcome.status = S.Complete);
+      tasks_run = outcome.tasks_run;
+      stats = outcome.search_stats;
+      memo_groups = outcome.memo_groups;
+      memo_mexprs = outcome.memo_mexprs;
+    }
   in
-  let finish p =
-    if req.restore_columns then restore_column_order (convert p) else convert p
-  in
-  {
-    plan = Option.map finish outcome.plan;
-    complete = (outcome.status = S.Complete);
-    tasks_run = outcome.tasks_run;
-    stats = outcome.search_stats;
-    memo_groups = outcome.memo_groups;
-    memo_mexprs = outcome.memo_mexprs;
-  }
+  run
+
+let optimize req (query : Relalg.Logical.expr) ~required : result =
+  (make_searcher req) query required
 
 let to_physical = to_physical_raw
 
@@ -114,37 +121,11 @@ let explain p = Format.asprintf "%a" pp_plan p
 
 type session = {
   run : Relalg.Logical.expr -> Relalg.Phys_prop.t -> result;
+  req : request;
 }
 
-let session req =
-  let (module M : Rel_model.REL_MODEL) =
-    Rel_model.make ~catalog:req.catalog ~params:req.params ~flags:req.flags ()
-  in
-  let module S = Volcano.Search.Make (M) in
-  let config =
-    {
-      S.pruning = req.pruning;
-      max_moves = req.max_moves;
-      budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
-      trace = req.trace;
-    }
-  in
-  let opt = S.create ~config () in
-  let run query required =
-    let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
-    let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
-    let rec convert (p : S.plan_tree) : plan_node =
-      { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
-    in
-    {
-      plan = Option.map convert outcome.plan;
-      complete = (outcome.status = S.Complete);
-      tasks_run = outcome.tasks_run;
-      stats = outcome.search_stats;
-      memo_groups = outcome.memo_groups;
-      memo_mexprs = outcome.memo_mexprs;
-    }
-  in
-  { run }
+let session req = { run = make_searcher req; req }
 
 let optimize_in s query ~required = s.run query required
+
+let session_request s = s.req

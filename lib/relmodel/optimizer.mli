@@ -75,4 +75,10 @@ val session : request -> session
 val optimize_in :
   session -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> result
 (** Like {!optimize} but accumulating in the session's memo. Statistics
-    are cumulative across the session. *)
+    are cumulative across the session ({!Volcano.Search_stats.diff}
+    recovers per-query deltas). Sessions honor the request's
+    [restore_columns] exactly as {!optimize} does. *)
+
+val session_request : session -> request
+(** The request the session was created from (used by the plan service
+    to renew sessions when the catalog changes). *)

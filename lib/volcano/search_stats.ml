@@ -94,6 +94,41 @@ let reset t =
   Array.fill t.tasks_by_kind 0 (Array.length t.tasks_by_kind) 0;
   t.stack_hwm <- 0
 
+let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
+
+let merge ~into t =
+  into.goals <- into.goals + t.goals;
+  into.goal_hits <- into.goal_hits + t.goal_hits;
+  into.goal_misses <- into.goal_misses + t.goal_misses;
+  into.groups_created <- into.groups_created + t.groups_created;
+  into.mexprs_created <- into.mexprs_created + t.mexprs_created;
+  into.rule_firings <- into.rule_firings + t.rule_firings;
+  into.plans_costed <- into.plans_costed + t.plans_costed;
+  into.enforcer_moves <- into.enforcer_moves + t.enforcer_moves;
+  into.failures <- into.failures + t.failures;
+  into.pruned <- into.pruned + t.pruned;
+  into.merges <- into.merges + t.merges;
+  into.tasks <- into.tasks + t.tasks;
+  Array.iteri (fun i n -> into.tasks_by_kind.(i) <- into.tasks_by_kind.(i) + n) t.tasks_by_kind;
+  if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
+
+let diff ~since t =
+  let d = copy t in
+  d.goals <- t.goals - since.goals;
+  d.goal_hits <- t.goal_hits - since.goal_hits;
+  d.goal_misses <- t.goal_misses - since.goal_misses;
+  d.groups_created <- t.groups_created - since.groups_created;
+  d.mexprs_created <- t.mexprs_created - since.mexprs_created;
+  d.rule_firings <- t.rule_firings - since.rule_firings;
+  d.plans_costed <- t.plans_costed - since.plans_costed;
+  d.enforcer_moves <- t.enforcer_moves - since.enforcer_moves;
+  d.failures <- t.failures - since.failures;
+  d.pruned <- t.pruned - since.pruned;
+  d.merges <- t.merges - since.merges;
+  d.tasks <- t.tasks - since.tasks;
+  Array.iteri (fun i n -> d.tasks_by_kind.(i) <- n - since.tasks_by_kind.(i)) t.tasks_by_kind;
+  d
+
 let count_task t kind =
   t.tasks <- t.tasks + 1;
   let i = task_kind_index kind in

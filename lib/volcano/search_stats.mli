@@ -54,6 +54,20 @@ val create : unit -> t
 
 val reset : t -> unit
 
+val copy : t -> t
+(** Independent snapshot; later mutation of either side does not affect
+    the other. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate [t]'s counters into [into] (high-water marks take the
+    max). Used to aggregate per-worker optimizer statistics into one
+    service-wide view. *)
+
+val diff : since:t -> t -> t
+(** Counter deltas [t - since] (high-water mark taken from [t]): the
+    per-query statistics of one optimization inside a cumulative
+    session. *)
+
 val count_task : t -> task_kind -> unit
 
 val tasks_of_kind : t -> task_kind -> int

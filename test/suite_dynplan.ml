@@ -108,6 +108,55 @@ let test_dynamic_no_worse_than_static () =
         (Cost.total dynamic <= Cost.total static_ +. 1e-6))
     [ 5; 50; 100; 195 ]
 
+(* Bucket boundaries: parameters exactly on a bucket's [lo] land in
+   that bucket; parameters exactly on an interior boundary (one
+   bucket's [hi] = the next one's [lo]) land in the following bucket;
+   the range's own [hi] lands in the last bucket. *)
+let test_exact_boundaries () =
+  let buckets = prepared.Dynplan.buckets in
+  List.iter
+    (fun (b : Dynplan.bucket) ->
+      let chosen = Dynplan.choose prepared (Value.Float b.lo) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "param exactly on lo %g stays in its bucket" b.lo)
+        b.lo chosen.Dynplan.lo)
+    buckets;
+  let rec interior = function
+    | (a : Dynplan.bucket) :: (b : Dynplan.bucket) :: rest ->
+      let chosen = Dynplan.choose prepared (Value.Float a.hi) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "interior boundary %g belongs to the next bucket" a.hi)
+        b.lo chosen.Dynplan.lo;
+      interior (b :: rest)
+    | _ -> ()
+  in
+  interior buckets;
+  let last = List.nth buckets (List.length buckets - 1) in
+  let at_hi = Dynplan.choose prepared (Value.Float last.Dynplan.hi) in
+  Alcotest.(check (float 1e-9)) "range hi lands in the last bucket" last.Dynplan.lo
+    at_hi.Dynplan.lo
+
+let test_outside_prepared_range () =
+  let buckets = prepared.Dynplan.buckets in
+  let first = List.hd buckets and last = List.nth buckets (List.length buckets - 1) in
+  List.iter
+    (fun v ->
+      let b = Dynplan.choose prepared (Value.Float v) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%g clamps to the first bucket" v)
+        first.Dynplan.lo b.Dynplan.lo)
+    [ -1e9; -0.5; -1e-9 ];
+  List.iter
+    (fun v ->
+      let b = Dynplan.choose prepared (Value.Float v) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%g clamps to the last bucket" v)
+        last.Dynplan.lo b.Dynplan.lo)
+    [ 200.000001; 5_000.; 1e12 ];
+  (* Non-numeric parameters also resolve (to some bucket) rather than
+     raising: choose is total. *)
+  let b = Dynplan.choose prepared (Value.Str "not-a-number") in
+  Alcotest.(check bool) "non-numeric parameter still dispatches" true
+    (List.exists (fun (x : Dynplan.bucket) -> x.lo = b.Dynplan.lo) buckets)
+
 let test_plan_actually_flips () =
   (* The scenario must exercise the machinery: more than one distinct
      plan across the parameter range. *)
@@ -118,6 +167,8 @@ let suite =
     Alcotest.test_case "buckets cover the range" `Quick test_buckets_cover_range;
     Alcotest.test_case "choose dispatch" `Quick test_choose_dispatch;
     Alcotest.test_case "out-of-range clamps" `Quick test_out_of_range_clamps;
+    Alcotest.test_case "exact bucket boundaries" `Quick test_exact_boundaries;
+    Alcotest.test_case "outside the prepared range" `Quick test_outside_prepared_range;
     Alcotest.test_case "instantiation substitutes" `Quick test_instantiate_substitutes;
     Alcotest.test_case "execution matches naive" `Quick test_execution_matches_naive;
     Alcotest.test_case "dynamic <= static" `Quick test_dynamic_no_worse_than_static;
@@ -157,4 +208,20 @@ let prop_bucket_laws =
       let landed = v >= b.Dynplan.lo -. 1e-9 && (v <= b.Dynplan.hi +. 1e-9 || b.Dynplan.hi >= hi) in
       contiguous && covers && landed)
 
-let suite = suite @ [ prop_bucket_laws ]
+(* Property: [choose] is total over the prepared interval — every
+   parameter in [lo, hi] (including both endpoints) dispatches without
+   raising to a bucket that covers it. *)
+let prop_choose_total =
+  let gen = QCheck.Gen.float_range 0. 1. in
+  Helpers.qcheck_case ~count:200 "choose is total over the prepared interval"
+    (QCheck.make gen)
+    (fun frac ->
+      let v = 0. +. (frac *. 200.) in
+      let b = Dynplan.choose prepared (Value.Float v) in
+      let last =
+        List.nth prepared.Dynplan.buckets (List.length prepared.Dynplan.buckets - 1)
+      in
+      v >= b.Dynplan.lo -. 1e-9
+      && (v <= b.Dynplan.hi +. 1e-9 || b.Dynplan.lo = last.Dynplan.lo))
+
+let suite = suite @ [ prop_bucket_laws; prop_choose_total ]

@@ -1,0 +1,356 @@
+(* Tests of the plan-cache and optimization service: LRU mechanics,
+   fingerprint soundness, hit/miss/invalidation behavior, parameterized
+   (Dynplan-backed) entries, and concurrent serving equivalence. *)
+
+open Relalg
+
+(* ---------- Lru ---------- *)
+
+let test_lru_basics () =
+  let l = Plansrv.Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair string string))) "no eviction yet" None
+    (Plansrv.Lru.add l "a" "1");
+  Alcotest.(check (option (pair string string))) "no eviction yet" None
+    (Plansrv.Lru.add l "b" "2");
+  (* Touch "a" so "b" is the LRU when "c" arrives. *)
+  Alcotest.(check (option string)) "find promotes" (Some "1") (Plansrv.Lru.find l "a");
+  (match Plansrv.Lru.add l "c" "3" with
+   | Some ("b", "2") -> ()
+   | Some (k, _) -> Alcotest.failf "evicted %s, expected b" k
+   | None -> Alcotest.fail "expected an eviction");
+  Alcotest.(check int) "length at capacity" 2 (Plansrv.Lru.length l);
+  Alcotest.(check (option string)) "b gone" None (Plansrv.Lru.find l "b");
+  Alcotest.(check (option string)) "a kept" (Some "1") (Plansrv.Lru.peek l "a");
+  let removed = Plansrv.Lru.remove_if l (fun k _ -> k = "c") in
+  Alcotest.(check int) "remove_if removes one" 1 (List.length removed);
+  Alcotest.(check int) "one left" 1 (Plansrv.Lru.length l)
+
+let test_lru_replace () =
+  let l = Plansrv.Lru.create ~capacity:2 in
+  ignore (Plansrv.Lru.add l "a" 1);
+  ignore (Plansrv.Lru.add l "a" 2);
+  Alcotest.(check int) "replace keeps one binding" 1 (Plansrv.Lru.length l);
+  Alcotest.(check (option int)) "latest value" (Some 2) (Plansrv.Lru.find l "a")
+
+(* ---------- fingerprints ---------- *)
+
+let key ?(parameterize = false) ?(required = Phys_prop.any) q =
+  (fst (Plansrv.Fingerprint.of_query ~parameterize q ~required)).Plansrv.Fingerprint.key
+
+let test_fingerprint_commutative_join () =
+  let p = Expr.(col "r.a" =% col "s.a") in
+  let a = Logical.join p (Logical.get "r") (Logical.get "s") in
+  let b = Logical.join p (Logical.get "s") (Logical.get "r") in
+  Alcotest.(check string) "swapped join inputs share a key" (key a) (key b);
+  (* Swapped predicate orientation too. *)
+  let c = Logical.join Expr.(col "s.a" =% col "r.a") (Logical.get "s") (Logical.get "r") in
+  Alcotest.(check string) "swapped predicate operands share a key" (key a) (key c)
+
+let test_fingerprint_commutative_setops () =
+  let u1 = Logical.union (Logical.get "r") (Logical.get "s") in
+  let u2 = Logical.union (Logical.get "s") (Logical.get "r") in
+  Alcotest.(check string) "union commutes" (key u1) (key u2);
+  let i1 = Logical.intersect (Logical.get "r") (Logical.get "s") in
+  let i2 = Logical.intersect (Logical.get "s") (Logical.get "r") in
+  Alcotest.(check string) "intersect commutes" (key i1) (key i2);
+  let d1 = Logical.difference (Logical.get "r") (Logical.get "s") in
+  let d2 = Logical.difference (Logical.get "s") (Logical.get "r") in
+  Alcotest.(check bool) "difference does NOT commute" true (key d1 <> key d2)
+
+let test_fingerprint_predicate_normal_form () =
+  let sel p = Logical.select p (Logical.get "r") in
+  let p1 = Expr.(col "r.a" >% int 5 &&% (col "r.b" =% int 2)) in
+  let p2 = Expr.(col "r.b" =% int 2 &&% (int 5 <% col "r.a")) in
+  Alcotest.(check string) "conjunct order and comparison orientation" (key (sel p1))
+    (key (sel p2));
+  let p3 = Expr.(col "r.a" >% int 6 &&% (col "r.b" =% int 2)) in
+  Alcotest.(check bool) "different literal, different key" true
+    (key (sel p1) <> key (sel p3));
+  (* ... unless the literal is parameterized out. *)
+  Alcotest.(check string) "parameterized keys erase the literal"
+    (key ~parameterize:true (sel Expr.(col "r.a" >% int 5)))
+    (key ~parameterize:true (sel Expr.(col "r.a" >% int 6)))
+
+let test_fingerprint_required_props () =
+  let q = Logical.get "r" in
+  let k_any = key q in
+  let k_sorted = key ~required:(Phys_prop.sorted (Sort_order.asc [ "r.a" ])) q in
+  Alcotest.(check bool) "required properties are part of the key" true (k_any <> k_sorted)
+
+(* Soundness over random workloads: commutative-join variants of the
+   same query agree, and distinct queries get distinct keys. *)
+let prop_fingerprint_sound =
+  let gen = QCheck.Gen.(int_range 0 10_000) in
+  Helpers.qcheck_case ~count:50 "fingerprint soundness on workload pairs"
+    (QCheck.make QCheck.Gen.(pair gen gen))
+    (fun (s1, s2) ->
+      let q1 = (Workload.generate (Workload.spec ~n_relations:4 ~seed:s1 ())).logical in
+      let q2 = (Workload.generate (Workload.spec ~n_relations:4 ~seed:s2 ())).logical in
+      (* A commutative rewrite of q1: swap the inputs of every join. *)
+      let rec flip (e : Logical.expr) =
+        let inputs = List.map flip e.Logical.inputs in
+        match e.Logical.op, inputs with
+        | Logical.Join p, [ l; r ] -> Logical.mk (Logical.Join p) [ r; l ]
+        | op, inputs -> Logical.mk op inputs
+      in
+      let variants_agree = key q1 = key (flip q1) in
+      let distinct_queries_differ =
+        let c1 = Plansrv.Fingerprint.canonicalize q1
+        and c2 = Plansrv.Fingerprint.canonicalize q2 in
+        Logical.equal c1 c2 = (key q1 = key q2)
+      in
+      variants_agree && distinct_queries_differ)
+
+(* ---------- the service ---------- *)
+
+let service ?(capacity = 64) ?(shards = 4) ?parameterize catalog =
+  let request = { (Relmodel.Optimizer.request catalog) with restore_columns = false } in
+  Plansrv.create (Plansrv.config ~capacity ~shards ?parameterize request)
+
+let explain_of (r : Plansrv.response) =
+  match r.plan with
+  | Some p -> Relmodel.Optimizer.explain p
+  | None -> Alcotest.fail "response carries no plan"
+
+let cost_of (r : Plansrv.response) =
+  match r.plan with
+  | Some p -> Cost.total p.cost
+  | None -> Alcotest.fail "response carries no plan"
+
+let join_rs =
+  Expr.(Logical.join (col "r.a" =% col "s.a") (Logical.get "r") (Logical.get "s"))
+
+let test_warm_hit_identical () =
+  let catalog = Helpers.small_catalog () in
+  let srv = service catalog in
+  let w = Plansrv.worker srv in
+  let first = Plansrv.serve_one srv w join_rs ~required:Phys_prop.any in
+  let second = Plansrv.serve_one srv w join_rs ~required:Phys_prop.any in
+  Alcotest.(check bool) "first is a miss" true (first.outcome = Plansrv.Miss);
+  Alcotest.(check bool) "second is a hit" true (second.outcome = Plansrv.Hit);
+  Alcotest.(check string) "identical plan" (explain_of first) (explain_of second);
+  Alcotest.(check (float 0.)) "identical cost" (cost_of first) (cost_of second);
+  (* Commutative variant served from the same entry. *)
+  let flipped =
+    Expr.(Logical.join (col "s.a" =% col "r.a") (Logical.get "s") (Logical.get "r"))
+  in
+  let third = Plansrv.serve_one srv w flipped ~required:Phys_prop.any in
+  Alcotest.(check bool) "variant is a hit" true (third.outcome = Plansrv.Hit);
+  Alcotest.(check string) "variant gets the canonical plan" (explain_of first)
+    (explain_of third);
+  (* And the cached plan is what direct optimization of the canonical
+     form produces. *)
+  let request = { (Relmodel.Optimizer.request catalog) with restore_columns = false } in
+  let direct =
+    Relmodel.Optimizer.optimize request
+      (Plansrv.Fingerprint.canonicalize join_rs)
+      ~required:Phys_prop.any
+  in
+  (match direct.plan with
+   | Some p ->
+     Alcotest.(check string) "cache = direct optimization"
+       (Relmodel.Optimizer.explain p) (explain_of first)
+   | None -> Alcotest.fail "direct optimization failed");
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "2 hits" 2 m.hits;
+  Alcotest.(check int) "1 miss" 1 m.misses;
+  Alcotest.(check int) "1 entry" 1 m.entries
+
+let test_eviction () =
+  let catalog = Helpers.small_catalog () in
+  let srv = service ~capacity:2 ~shards:1 catalog in
+  let w = Plansrv.worker srv in
+  let q name = Logical.get name in
+  List.iter
+    (fun name -> ignore (Plansrv.serve_one srv w (q name) ~required:Phys_prop.any))
+    [ "r"; "s"; "t" ];
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "one eviction" 1 m.evictions;
+  Alcotest.(check int) "population at capacity" 2 m.entries;
+  (* The LRU victim was "r"; it misses again. *)
+  let again = Plansrv.serve_one srv w (q "r") ~required:Phys_prop.any in
+  Alcotest.(check bool) "evicted entry misses" true (again.outcome = Plansrv.Miss)
+
+let test_stats_invalidation () =
+  let catalog = Helpers.small_catalog () in
+  let srv = service catalog in
+  let w = Plansrv.worker srv in
+  let q_rs = join_rs in
+  let q_t = Logical.select Expr.(col "t.c" <% int 7) (Logical.get "t") in
+  let serve q = Plansrv.serve_one srv w q ~required:Phys_prop.any in
+  ignore (serve q_rs);
+  ignore (serve q_t);
+  Alcotest.(check bool) "warm before the change" true ((serve q_rs).outcome = Plansrv.Hit);
+  Alcotest.(check bool) "warm before the change" true ((serve q_t).outcome = Plansrv.Hit);
+  (* Refresh t's statistics: only fingerprints referencing t go stale. *)
+  Catalog.update_stats catalog ~table:"t" ();
+  Alcotest.(check bool) "entry over r,s survives" true ((serve q_rs).outcome = Plansrv.Hit);
+  let stale = serve q_t in
+  Alcotest.(check bool) "entry over t was invalidated" true
+    (stale.outcome = Plansrv.Invalidated);
+  Alcotest.(check bool) "re-populated entry is warm again" true
+    ((serve q_t).outcome = Plansrv.Hit);
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "exactly one invalidation" 1 m.invalidations;
+  Alcotest.(check int) "both entries live" 2 m.entries
+
+let test_proactive_invalidation () =
+  let catalog = Helpers.small_catalog () in
+  let srv = service catalog in
+  let w = Plansrv.worker srv in
+  ignore (Plansrv.serve_one srv w join_rs ~required:Phys_prop.any);
+  ignore (Plansrv.serve_one srv w (Logical.get "t") ~required:Phys_prop.any);
+  Alcotest.(check int) "sweep drops only r-referencing entries" 1
+    (Plansrv.invalidate_table srv "r");
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "one entry left" 1 m.entries
+
+let test_parameterized_entry () =
+  let catalog = Catalog.create () in
+  ignore
+    (Catalog.add_synthetic catalog ~name:"fact"
+       ~columns:
+         [ ("k", Catalog.Uniform_int (0, 499)); ("v", Catalog.Uniform_int (0, 9_999)) ]
+       ~rows:3_000 ~seed:31 ());
+  ignore
+    (Catalog.add_synthetic catalog ~name:"dim"
+       ~columns:[ ("k", Catalog.Uniform_int (0, 499)); ("w", Catalog.Uniform_int (0, 99)) ]
+       ~rows:1_500 ~seed:32 ());
+  let query c =
+    let open Expr in
+    Logical.join
+      (col "fact.k" =% col "dim.k")
+      (Logical.select (Expr.Cmp (Expr.Le, col "fact.v", Expr.int c)) (Logical.get "fact"))
+      (Logical.get "dim")
+  in
+  let srv = service ~parameterize:true catalog in
+  let w = Plansrv.worker srv in
+  let r1 = Plansrv.serve_one srv w (query 40) ~required:Phys_prop.any in
+  Alcotest.(check bool) "first literal misses" true (r1.outcome = Plansrv.Miss);
+  Alcotest.(check bool) "and is parameterized" true r1.parameterized;
+  let r2 = Plansrv.serve_one srv w (query 7_000) ~required:Phys_prop.any in
+  Alcotest.(check bool) "different literal hits the same template" true
+    (r2.outcome = Plansrv.Hit);
+  Alcotest.(check bool) "parameterized hit" true r2.parameterized;
+  (* The served plans carry the actual literal and compute the right
+     rows. *)
+  List.iter
+    (fun (r, c) ->
+      match r.Plansrv.plan with
+      | None -> Alcotest.fail "no plan"
+      | Some plan ->
+        let rows, _, _ = Executor.run catalog (Relmodel.Optimizer.to_physical plan) in
+        let expected, _ = Executor.naive catalog (query c) in
+        Helpers.check_same_bag (Printf.sprintf "literal %d" c) expected rows)
+    [ (r1, 40); (r2, 7_000) ];
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "one template entry" 1 m.entries;
+  Alcotest.(check int) "both requests parameterized" 2 m.param_served
+
+(* The headline guarantee: concurrent domains serving a shuffled
+   workload return bit-identical plans and costs to sequential
+   single-session optimization. *)
+let test_concurrent_matches_sequential () =
+  let base = Workload.generate (Workload.spec ~n_relations:5 ~seed:4242 ()) in
+  let catalog = base.catalog in
+  (* 20 distinct queries: join prefixes of the chain crossed with extra
+     selections of varying constants. *)
+  let rec prefixes (e : Logical.expr) acc =
+    match e.Logical.op, e.Logical.inputs with
+    | Logical.Join _, [ l; _ ] -> prefixes l (e :: acc)
+    | _, _ -> acc
+  in
+  let spines = prefixes base.logical [] in
+  let first_col = List.hd base.relations ^ ".jk1" in
+  let uniques =
+    List.concat_map
+      (fun spine ->
+        List.map
+          (fun c -> Logical.select Expr.(col first_col >=% int c) spine)
+          [ 0; 3; 7; 11; 19 ])
+      spines
+  in
+  let uniques = List.filteri (fun i _ -> i < 20) uniques in
+  Alcotest.(check int) "20 unique queries" 20 (List.length uniques);
+  (* 200 requests: each query 10 times, deterministically shuffled. *)
+  let rng = Random.State.make [| 99 |] in
+  let requests =
+    List.concat_map (fun q -> List.init 10 (fun _ -> q)) uniques
+    |> List.map (fun q -> (Random.State.bits rng, q))
+    |> List.sort compare
+    |> List.map (fun (_, q) -> (q, Phys_prop.any))
+    |> Array.of_list
+  in
+  let request = { (Relmodel.Optimizer.request catalog) with restore_columns = false } in
+  (* Sequential single-session baseline over the canonical forms. *)
+  let baseline = Hashtbl.create 32 in
+  let session = Relmodel.Optimizer.session request in
+  List.iter
+    (fun q ->
+      let fp, canonical = Plansrv.Fingerprint.of_query q ~required:Phys_prop.any in
+      match (Relmodel.Optimizer.optimize_in session canonical ~required:Phys_prop.any).plan with
+      | Some p ->
+        Hashtbl.replace baseline fp.Plansrv.Fingerprint.key
+          (Relmodel.Optimizer.explain p, Cost.total p.cost)
+      | None -> Alcotest.fail "baseline optimization failed")
+    uniques;
+  let srv = Plansrv.create (Plansrv.config ~capacity:64 ~shards:4 request) in
+  let responses = Plansrv.serve ~workers:4 srv requests in
+  Array.iteri
+    (fun i (r : Plansrv.response) ->
+      let expected_explain, expected_cost = Hashtbl.find baseline r.fingerprint in
+      Alcotest.(check string)
+        (Printf.sprintf "request %d: plan identical to sequential" i)
+        expected_explain (explain_of r);
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "request %d: cost identical to sequential" i)
+        expected_cost (cost_of r))
+    responses;
+  (* No torn counters: every request accounted for exactly once. *)
+  let m = Plansrv.metrics srv in
+  Alcotest.(check int) "requests" 200 m.requests;
+  Alcotest.(check int) "hits + misses = requests" 200 (m.hits + m.misses);
+  Alcotest.(check int) "warm latencies = hits" m.hits m.warm.count;
+  Alcotest.(check int) "cold latencies = misses" m.misses m.cold.count;
+  Alcotest.(check bool)
+    (Printf.sprintf "every unique query misses at least once (misses=%d)" m.misses)
+    true (m.misses >= 20);
+  Alcotest.(check int) "no invalidations" 0 m.invalidations
+
+let test_serve_sequential_equals_concurrent_metrics () =
+  (* The same batch served by 1 worker and by 4 workers yields the same
+     plans (metrics like hit counts may differ only through duplicated
+     concurrent misses). *)
+  let catalog = Helpers.small_catalog () in
+  let queries =
+    [|
+      (Logical.get "r", Phys_prop.any);
+      (join_rs, Phys_prop.any);
+      (Logical.get "r", Phys_prop.any);
+      (join_rs, Phys_prop.any);
+      (Logical.select Expr.(col "t.c" <% int 5) (Logical.get "t"), Phys_prop.any);
+    |]
+  in
+  let run workers =
+    let srv = service catalog in
+    Plansrv.serve ~workers srv queries |> Array.map explain_of
+  in
+  Alcotest.(check (array string)) "1 worker = 4 workers" (run 1) (run 4)
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru replace" `Quick test_lru_replace;
+    Alcotest.test_case "fingerprint: join commutes" `Quick test_fingerprint_commutative_join;
+    Alcotest.test_case "fingerprint: set ops" `Quick test_fingerprint_commutative_setops;
+    Alcotest.test_case "fingerprint: predicate NF" `Quick test_fingerprint_predicate_normal_form;
+    Alcotest.test_case "fingerprint: required props" `Quick test_fingerprint_required_props;
+    prop_fingerprint_sound;
+    Alcotest.test_case "warm hit identical" `Quick test_warm_hit_identical;
+    Alcotest.test_case "bounded cache evicts" `Quick test_eviction;
+    Alcotest.test_case "stats bump invalidates" `Quick test_stats_invalidation;
+    Alcotest.test_case "proactive sweep" `Quick test_proactive_invalidation;
+    Alcotest.test_case "parameterized entries" `Quick test_parameterized_entry;
+    Alcotest.test_case "concurrent = sequential" `Quick test_concurrent_matches_sequential;
+    Alcotest.test_case "worker counts agree" `Quick test_serve_sequential_equals_concurrent_metrics;
+  ]

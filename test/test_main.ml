@@ -16,6 +16,7 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("dynplan", Suite_dynplan.suite);
       ("session", Suite_session.suite);
+      ("plansrv", Suite_plansrv.suite);
       ("exodus", Suite_exodus.suite);
       ("sql", Suite_sql.suite);
       ("workload", Suite_workload.suite);
