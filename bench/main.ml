@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- f4      -- just Figure 4
      dune exec bench/main.exe -- a1..a10 -- one ablation
      dune exec bench/main.exe -- plansrv -- plan-cache service (BENCH_plansrv.json)
+     dune exec bench/main.exe -- parsearch -- intra-query parallel search (BENCH_parsearch.json)
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -730,6 +731,100 @@ let plansrv_bench ~full () =
   Printf.printf "\n  wrote BENCH_plansrv.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* PARSEARCH: intra-query parallel search — wall-clock and total work  *)
+(* at 1, 2 and 4 domains on chain/star joins.                          *)
+(* Writes BENCH_parsearch.json next to the build.                      *)
+(* ------------------------------------------------------------------ *)
+
+let parsearch_bench ~full () =
+  header "PARSEARCH  Intra-query parallel search (Search.run ~domains)";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "Per workload and domain count: best-of-3 wall clock, speedup vs the\n\
+     sequential engine, and the hardware-neutral work counters (total engine\n\
+     tasks summed over all domains, goals claimed by workers, goals computed\n\
+     in duplicate). Plans are verified bit-identical across domain counts.\n\
+     Available cores: %d%s\n\n"
+    cores
+    (if cores < 4 then
+       " — fewer cores than domains: expect no wall-clock speedup here;\n\
+       \     the work counters are the machine-independent signal"
+     else "");
+  let sizes = if full then [ 6; 7; 8 ] else [ 6; 7 ] in
+  let workloads =
+    List.concat_map
+      (fun n -> [ (Workload.Star, "star", n); (Workload.Chain, "chain", n) ])
+      sizes
+  in
+  Printf.printf
+    "  workload | domains | wall (ms) | speedup | tasks | claimed | dup | identical\n";
+  Printf.printf
+    "  ---------+---------+-----------+---------+-------+---------+-----+----------\n";
+  let rows =
+    List.concat_map
+      (fun (shape, name, n) ->
+        let q =
+          Workload.generate
+            (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (1200 * n)) ())
+        in
+        let measure domains =
+          let request =
+            {
+              (Relmodel.Optimizer.request q.catalog) with
+              restore_columns = false;
+              domains;
+            }
+          in
+          let best = ref infinity and last = ref None in
+          for _ = 1 to 3 do
+            let dt, r =
+              time_it (fun () ->
+                  Relmodel.Optimizer.optimize request q.logical ~required:Phys_prop.any)
+            in
+            if dt < !best then best := dt;
+            last := Some r
+          done;
+          (!best *. 1000., Option.get !last)
+        in
+        let base_ms, base = measure 1 in
+        let base_cost =
+          match base.plan with
+          | Some p -> Cost.total p.cost
+          | None -> nan
+        in
+        List.map
+          (fun domains ->
+            let ms, r = measure domains in
+            let cost =
+              match r.plan with Some p -> Cost.total p.cost | None -> nan
+            in
+            let identical = Float.abs (cost -. base_cost) = 0. in
+            let speedup = base_ms /. ms in
+            let s = r.stats in
+            Printf.printf "  %5s n=%d | %7d | %9.1f | %6.2fx | %5d | %7d | %3d | %b\n%!"
+              name n domains ms speedup s.tasks s.par_goals_claimed s.par_dup_goals
+              identical;
+            (name, n, domains, ms, speedup, s.tasks, s.par_goals_claimed,
+             s.par_dup_goals, cost, identical))
+          [ 1; 2; 4 ])
+      workloads
+  in
+  let oc = open_out "BENCH_parsearch.json" in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" cores
+    (String.concat ",\n"
+       (List.map
+          (fun (name, n, domains, ms, speedup, tasks, claimed, dup, cost, identical) ->
+            Printf.sprintf
+              "    { \"workload\": \"%s\", \"relations\": %d, \"domains\": %d, \
+               \"wall_ms\": %.2f, \"speedup\": %.3f, \"tasks\": %d, \
+               \"par_goals_claimed\": %d, \"par_dup_goals\": %d, \
+               \"plan_cost\": %.9f, \"identical_to_sequential\": %b }"
+              name n domains ms speedup tasks claimed dup cost identical)
+          rows));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_parsearch.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -821,5 +916,6 @@ let () =
   if want "a9" then a9 ~full ();
   if want "a10" then a10 ~full ();
   if want "plansrv" then plansrv_bench ~full ();
+  if want "parsearch" then parsearch_bench ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

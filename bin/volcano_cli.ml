@@ -52,7 +52,7 @@ let print_tables catalog =
     (Catalog.tables catalog)
 
 let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeout_ms
-    trace =
+    trace domains =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -68,6 +68,7 @@ let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeo
         flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
         max_tasks = max_steps;
         max_millis = timeout_ms;
+        domains;
         trace =
           (if trace then
              Some
@@ -160,12 +161,12 @@ let run_repl () =
   in
   loop ()
 
-let run_serve file workers capacity shards parameterize =
+let run_serve file workers capacity shards parameterize domains =
   let catalog = demo_catalog () in
   let srv =
     Plansrv.create
       (Plansrv.config ~capacity ~shards ~parameterize
-         (Relmodel.Optimizer.request catalog))
+         { (Relmodel.Optimizer.request catalog) with domains })
   in
   let lines =
     match file with
@@ -284,11 +285,19 @@ let optimize_cmd =
       value & flag
       & info [ "trace" ] ~doc:"Print one line per search-engine task to stderr.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run the search on N OCaml domains sharing one memo. The plan and cost \
+             are bit-identical to the sequential engine at any N.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
     Term.(
       const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ left_deep
-      $ max_steps $ timeout_ms $ trace)
+      $ max_steps $ timeout_ms $ trace $ domains)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())
@@ -329,10 +338,18 @@ let serve_cmd =
             "Erase the single numeric literal from fingerprints so one dynamic-plan \
              entry serves a whole range of constants.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "OCaml domains per cache-miss optimization (intra-query parallel search), \
+             on top of the $(b,--workers) across-query parallelism.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
-    Term.(const run_serve $ file $ workers $ capacity $ shards $ parameterize)
+    Term.(const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains)
 
 let workload_cmd =
   let n =
@@ -346,6 +363,10 @@ let workload_cmd =
 let () =
   let doc = "The Volcano optimizer generator (Graefe & McKenna, ICDE 1993)" in
   let info = Cmd.info "volcano-cli" ~version:"1.0.0" ~doc in
+  (* With no subcommand, render the help page (which lists every
+     subcommand with its one-line summary) instead of erroring out. *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'
-       (Cmd.group info [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))
+       (Cmd.group ~default info
+          [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))

@@ -11,8 +11,10 @@ val create : capacity:int -> 'a t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : 'a t -> int
+(** The bound given at creation. *)
 
 val length : 'a t -> int
+(** Current number of bindings (at most {!capacity}). *)
 
 val find : 'a t -> string -> 'a option
 (** Lookup and promote the entry to most-recently-used. *)
@@ -26,6 +28,7 @@ val add : 'a t -> string -> 'a -> (string * 'a) option
     capacity. *)
 
 val remove : 'a t -> string -> 'a option
+(** Remove and return the binding, if present. *)
 
 val remove_if : 'a t -> (string -> 'a -> bool) -> (string * 'a) list
 (** Remove every binding satisfying the predicate (targeted

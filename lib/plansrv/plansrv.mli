@@ -22,7 +22,10 @@ module Fingerprint = Fingerprint
 type config = {
   request : Relmodel.Optimizer.request;
       (** optimizer configuration used by every worker session and
-          cache-miss optimization *)
+          cache-miss optimization. Setting its [domains] field above 1
+          gives each cold miss intra-query parallel search
+          ({!Volcano.Search.Make.run}) on top of the service's
+          across-query worker parallelism. *)
   capacity : int;  (** total cached entries, divided across shards *)
   shards : int;  (** independently locked cache shards *)
   parameterize : bool;
@@ -41,8 +44,12 @@ val config :
 (** Defaults: capacity 512, 8 shards, parameterization off, 8 buckets. *)
 
 type t
+(** A running service: the shard array plus its observability
+    counters. Safe to share across domains. *)
 
 val create : config -> t
+(** Create an empty service; capacity is divided evenly across the
+    shards. *)
 
 (** How a request was answered. *)
 type outcome =
@@ -70,6 +77,7 @@ type worker
     domain. *)
 
 val worker : t -> worker
+(** A fresh worker for this service, with its own optimizer session. *)
 
 val serve_one : t -> worker -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> response
 (** Serve a single request on this worker (the line-at-a-time loop of
@@ -122,3 +130,5 @@ val metrics : t -> metrics
     only at quiescence. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit
+(** Multi-line operator-facing rendering: hit rate, latency profiles,
+    and the merged search effort. *)

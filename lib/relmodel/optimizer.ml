@@ -25,6 +25,7 @@ type request = {
   max_millis : float option;
   trace : (Volcano.Search_stats.trace_event -> unit) option;
   restore_columns : bool;
+  domains : int;
 }
 
 let request catalog =
@@ -39,6 +40,7 @@ let request catalog =
     max_millis = None;
     trace = None;
     restore_columns = true;
+    domains = 1;
   }
 
 let rec to_physical_raw (p : plan_node) : Relalg.Physical.plan =
@@ -77,7 +79,9 @@ let make_searcher req =
   let opt = S.create ~config () in
   let run (query : Relalg.Logical.expr) required : result =
     let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
-    let outcome = S.optimize ~limit opt (Rel_model.to_tree query) ~required in
+    let outcome =
+      S.run ~limit ~domains:req.domains opt (Rel_model.to_tree query) ~required
+    in
     let rec convert (p : S.plan_tree) : plan_node =
       { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
     in

@@ -41,6 +41,10 @@ type request = {
           join commutativity reordered the output (default [true]; plan
           benchmarks turn it off so both comparands are judged on the
           bare plan) *)
+  domains : int;
+      (** OCaml 5 domains for intra-query parallel search (default [1] =
+          sequential). The final plan and cost are bit-identical at any
+          domain count; see {!Volcano.Search.Make.run}. *)
 }
 
 val request : Catalog.t -> request
@@ -49,13 +53,18 @@ val request : Catalog.t -> request
 
 val optimize :
   request -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> result
+(** One-shot optimization on a fresh memo: generate the optimizer for
+    the request's catalog and flags, insert the query, and search for
+    the cheapest plan delivering [required]. *)
 
 val to_physical : plan_node -> Relalg.Physical.plan
 (** Strip annotations for execution. *)
 
 val plan_cost : plan_node -> Relalg.Cost.t
+(** Total cost of the plan (the root node's subtree cost). *)
 
 val pp_plan : Format.formatter -> plan_node -> unit
+(** Indented rendering with per-node properties and costs. *)
 
 val explain : plan_node -> string
 (** Multi-line EXPLAIN rendering with properties and costs. *)
@@ -69,8 +78,11 @@ val explain : plan_node -> string
     optimize faster. *)
 
 type session
+(** One memo kept alive across queries on the same catalog. *)
 
 val session : request -> session
+(** Create a session; the request's configuration (including
+    [domains]) applies to every optimization in it. *)
 
 val optimize_in :
   session -> Relalg.Logical.expr -> required:Relalg.Phys_prop.t -> result

@@ -63,6 +63,9 @@ module Make (M : Signatures.MODEL) = struct
     mutable lprops : M.logical_props option;
     winners : winner Goal_tbl.t;
     in_progress : unit Goal_tbl.t;
+    claimed : unit Goal_tbl.t;
+        (** goals claimed by a parallel worker (transient, per parallel
+            phase): duplicate goals dedupe instead of racing *)
     mutable explored : bool;
     mutable exploring : bool;
   }
@@ -81,15 +84,29 @@ module Make (M : Signatures.MODEL) = struct
 
   module Expr_tbl = Hashtbl.Make (Expr_key)
 
+  (* Number of winner-table lock stripes (power of two). Stripes are
+     keyed by root group id, so one group's winner/claim tables are
+     always guarded by the same mutex. *)
+  let n_stripes = 64
+
   type t = {
     mutable groups : group_data array;
     mutable n_groups : int;
     index : mexpr Expr_tbl.t;
     stats : Search_stats.t;
+    stripes : Mutex.t array;
+        (** winner/claim-table locks for the parallel search phase; the
+            sequential engine never takes them *)
   }
 
   let create stats =
-    { groups = [||]; n_groups = 0; index = Expr_tbl.create 256; stats }
+    {
+      groups = [||];
+      n_groups = 0;
+      index = Expr_tbl.create 256;
+      stats;
+      stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+    }
 
   let data t g =
     assert (g >= 0 && g < t.n_groups);
@@ -115,6 +132,7 @@ module Make (M : Signatures.MODEL) = struct
         lprops = None;
         winners = Goal_tbl.create 4;
         in_progress = Goal_tbl.create 4;
+        claimed = Goal_tbl.create 1;
         explored = false;
         exploring = false;
       }
@@ -148,6 +166,17 @@ module Make (M : Signatures.MODEL) = struct
         d.parents <- m :: d.parents)
       m.inputs
 
+  (* Monotonic winner ordering, shared by class merging and by the
+     parallel publish path: a plan beats a failure, a cheaper plan beats
+     a dearer one, and of two failures the one recorded under the more
+     generous bound carries more information. *)
+  let winner_le (w : winner) (v : winner) =
+    match w.w_plan, v.w_plan with
+    | Some p1, Some p2 -> M.cost_compare p1.p_cost p2.p_cost <= 0
+    | Some _, None -> true
+    | None, Some _ -> false
+    | None, None -> M.cost_compare w.w_bound v.w_bound >= 0
+
   (* Merge group [b] into group [a] (both roots): the same expression
      was derived in two classes, proving them equivalent. Only the
      expressions referencing [b] need re-indexing; folding may reveal
@@ -166,14 +195,7 @@ module Make (M : Signatures.MODEL) = struct
           match Goal_tbl.find_opt da.winners key with
           | None -> Goal_tbl.replace da.winners key w
           | Some existing ->
-            let better =
-              match existing.w_plan, w.w_plan with
-              | Some p1, Some p2 -> M.cost_compare p1.p_cost p2.p_cost <= 0
-              | Some _, None -> true
-              | None, Some _ -> false
-              | None, None -> M.cost_compare existing.w_bound w.w_bound >= 0
-            in
-            if not better then Goal_tbl.replace da.winners key w)
+            if not (winner_le existing w) then Goal_tbl.replace da.winners key w)
         db.winners;
       (* Move b's expressions and parent links into a. Cross-group
          same-key duplicates cannot exist (insert would have merged
@@ -242,6 +264,84 @@ module Make (M : Signatures.MODEL) = struct
   let set_winner t g key plan bound =
     let d = data t (find_root t g) in
     Goal_tbl.replace d.winners key { w_plan = plan; w_bound = bound }
+
+  (* ------------------------------------------------------------------ *)
+  (* Lock-striped access for the parallel search phase. The memo's      *)
+  (* logical structure (groups, mexprs, expression index) must already  *)
+  (* be frozen — exploration complete, no inserts or merges — so only   *)
+  (* the per-group winner and claim tables need guarding.               *)
+  (* ------------------------------------------------------------------ *)
+
+  let stripe t g = t.stripes.(g land (n_stripes - 1))
+
+  (** [winner_locked t g key] is {!winner} under the group's stripe
+      lock, returning a private copy so the caller never observes a
+      concurrent publish halfway through. *)
+  let winner_locked t g key =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () ->
+        match Goal_tbl.find_opt (data t g).winners key with
+        | None -> None
+        | Some w -> Some { w_plan = w.w_plan; w_bound = w.w_bound })
+
+  (** [publish_winner t g key plan bound] records a winner from a
+      parallel worker, merging monotonically under the stripe lock:
+      whichever of the existing and incoming entries {!winner_le}
+      prefers survives, so racing publications commute. Returns [false]
+      when an entry already existed (a duplicated computation). *)
+  let publish_winner t g key plan bound =
+    let g = find_root t g in
+    let incoming = { w_plan = plan; w_bound = bound } in
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        match Goal_tbl.find_opt d.winners key with
+        | None ->
+          Goal_tbl.replace d.winners key incoming;
+          true
+        | Some existing ->
+          if not (winner_le existing incoming) then Goal_tbl.replace d.winners key incoming;
+          false)
+
+  (** [try_claim t g key] claims the goal for the calling worker.
+      Returns [false] when another worker already claimed it or a
+      winner is already recorded — the once-per-goal dedup of the
+      parallel phase. *)
+  let try_claim t g key =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        if Goal_tbl.mem d.claimed key || Goal_tbl.mem d.winners key then false
+        else begin
+          Goal_tbl.replace d.claimed key ();
+          true
+        end)
+
+  (** [claim t g key] marks the goal claimed unconditionally (used when
+      a worker starts a subgoal mid-run, so later seed grabs skip it). *)
+  let claim t g key =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () -> Goal_tbl.replace (data t g).claimed key ())
+
+  (** [is_claimed t g key] — whether some run claimed the goal. Workers
+      consult this to wait for the claim holder's published winner
+      instead of duplicating the whole subtree. *)
+  let is_claimed t g key =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () -> Goal_tbl.mem (data t g).claimed key)
+
+  (** Forget all claims (start of a parallel phase; claims are
+      transient and never consulted by the sequential engine). *)
+  let reset_claims t =
+    for g = 0 to t.n_groups - 1 do
+      Goal_tbl.reset t.groups.(g).claimed
+    done
+
+  (** Fully compress union-find paths so concurrent readers of a frozen
+      memo only ever race on writes of already-final root values. *)
+  let compress_paths t =
+    for g = 0 to t.n_groups - 1 do
+      ignore (find_root t g : group)
+    done
 
   let in_progress t g key = Goal_tbl.mem (data t (find_root t g)).in_progress key
 

@@ -25,12 +25,17 @@ type 'op pattern =
 type group = int
 (** Memo equivalence-class identifier. *)
 
+(** An operator tree matched out of the memo: concrete operators at
+    the nodes a pattern descended into, equivalence-class references at
+    its [Any] leaves. The currency rules are applied to. *)
 type 'op binding =
-  | Group of group
-  | Node of 'op * 'op binding list
+  | Group of group  (** an [Any] leaf: the whole equivalence class *)
+  | Node of 'op * 'op binding list  (** a matched operator and its inputs *)
 
+(** A transformation rule: an algebraic equivalence such as join
+    commutativity or associativity (paper Figure 3). *)
 type ('op, 'lp) transform = {
-  t_name : string;
+  t_name : string;  (** for tracing and diagnostics *)
   t_promise : int;  (** higher fires earlier (§3: "order the set of moves by promise") *)
   t_pattern : 'op pattern;
   t_apply : lookup:(group -> 'lp) -> 'op binding -> 'op binding list;
@@ -38,17 +43,20 @@ type ('op, 'lp) transform = {
           condition code (e.g. schema checks for many-sorted algebras). *)
 }
 
+(** One algorithm choice produced by an implementation rule. *)
 type ('op, 'alg, 'lp, 'pp) impl_choice = {
-  c_alg : 'alg;
-  c_inputs : group list;
+  c_alg : 'alg;  (** the physical algorithm *)
+  c_inputs : group list;  (** memo groups serving as the algorithm's inputs *)
   c_alternatives : 'pp list list;
       (** each element is one full input-requirement vector: one
           property requirement per input, in input order *)
 }
 
+(** An implementation rule: maps a (possibly multi-node) logical
+    pattern to algorithm choices for a required property vector. *)
 type ('op, 'alg, 'lp, 'pp) implement = {
-  i_name : string;
-  i_promise : int;
+  i_name : string;  (** for tracing and diagnostics *)
+  i_promise : int;  (** higher is pursued earlier, as for transforms *)
   i_pattern : 'op pattern;
   i_apply :
     lookup:(group -> 'lp) ->
@@ -64,3 +72,6 @@ val binding_op : 'op binding -> 'op option
 (** Root operator, when the binding is a [Node]. *)
 
 val pattern_depth : 'op pattern -> int
+(** Longest operator chain the pattern matches ([Any] counts 0): how
+    deep exploration must descend into input classes before the rule
+    can be offered all its bindings. *)

@@ -55,10 +55,41 @@ module Make (M : Signatures.MODEL) = struct
   let default_config =
     { pruning = true; max_moves = None; budget = unlimited; trace = None }
 
+  (* How this searcher view accesses the shared goal state. [Seq] is
+     the plain single-domain engine: unlocked winner tables and the
+     memo's own in-progress marks. [Worker] is a per-domain view used
+     during the parallel phase of {!run}: winner reads and writes go
+     through the memo's lock stripes and merge monotonically, while
+     in-progress marks live in per-run private tables — a mark is a
+     statement about *this* run's descent (inverse-rule/enforcer cycle
+     neutralization), and sharing it across runs would make one run's
+     unfinished goal look like another's cycle. *)
+  type worker_ctx = {
+    wk_cap : M.cost;
+        (** the incumbent plan's cost — the most generous limit any
+            consultation in this optimization can still carry. A worker
+            re-optimizing a goal whose recorded failure bound proved
+            insufficient computes at this cap, so the refreshed entry
+            settles the goal for the rest of the phase instead of being
+            re-optimized under every intermediate limit. *)
+    mutable wk_blocked : (Memo.group * Memo.Goal_key.t) option;
+        (** set by the stepper when the current run deferred to a goal
+            another worker has claimed: suspend this run *)
+    mutable wk_force : (Memo.group * Memo.Goal_key.t) option;
+        (** one goal this worker may compute even though it is claimed
+            elsewhere — seeds it just claimed itself, and the bounded
+            duplicate-compute fallback that guarantees liveness *)
+  }
+
+  type mode =
+    | Seq
+    | Worker of worker_ctx
+
   type t = {
     memo : Memo.t;
     config : config;
     stats : Search_stats.t;
+    mode : mode;
   }
 
   (** A fully extracted plan: the optimizer's output. *)
@@ -71,7 +102,23 @@ module Make (M : Signatures.MODEL) = struct
 
   let create ?(config = default_config) () =
     let stats = Search_stats.create () in
-    { memo = Memo.create stats; config; stats }
+    { memo = Memo.create stats; config; stats; mode = Seq }
+
+  (* Goal-state accessors, dispatched on the searcher's mode (see
+     {!mode}). The sequential paths compile to exactly the pre-parallel
+     engine's direct memo calls. *)
+
+  let winner_for t g key =
+    match t.mode with
+    | Seq -> Memo.winner t.memo g key
+    | Worker _ -> Memo.winner_locked t.memo g key
+
+  let record_winner t g key plan bound =
+    match t.mode with
+    | Seq -> Memo.set_winner t.memo g key plan bound
+    | Worker _ ->
+      if not (Memo.publish_winner t.memo g key plan bound) then
+        t.stats.Search_stats.par_dup_goals <- t.stats.Search_stats.par_dup_goals + 1
 
   let stats t = t.stats
 
@@ -245,7 +292,10 @@ module Make (M : Signatures.MODEL) = struct
     gs_group : Memo.group;
     gs_required : M.phys_props;
     gs_excluded : M.phys_props option;
-    gs_limit : M.cost;  (** the caller's limit *)
+    mutable gs_limit : M.cost;
+        (** the caller's limit; raised to the phase cap by workers
+            re-optimizing a goal whose recorded bound proved
+            insufficient (see [optimize_group_init]) *)
     mutable gs_bound : M.cost;  (** running branch-and-bound bound *)
     mutable gs_best : Memo.plan option;
     gs_impl : move list array;  (** per-implementation-rule collection buckets *)
@@ -332,12 +382,49 @@ module Make (M : Signatures.MODEL) = struct
     mutable r_tasks : int;  (** tasks executed in this run (not the searcher) *)
     mutable r_millis : float;  (** active wall-clock milliseconds, across resumes *)
     mutable r_status : status option;  (** [Some Complete] once the stack drains *)
+    r_marks : (int, unit Memo.Goal_tbl.t) Hashtbl.t;
+        (** worker-mode in-progress marks, private to this run and keyed
+            by root group; unused (empty) in [Seq] mode *)
   }
 
   let push run task =
     run.r_stack <- task :: run.r_stack;
     run.r_depth <- run.r_depth + 1;
     Search_stats.note_stack_depth run.rt.stats run.r_depth
+
+  (* In-progress marks, dispatched on the searcher's mode. Sequentially
+     they live in the memo (the engine is one big DFS); in worker mode
+     each run keeps its own table, because a mark means "this run's
+     descent passes through that goal" — the cycle-neutralization
+     property of Figure 2 — and one run's unfinished goal must not look
+     like a cycle to a different run. *)
+
+  let run_marks run g =
+    match Hashtbl.find_opt run.r_marks g with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Memo.Goal_tbl.create 4 in
+      Hashtbl.add run.r_marks g tbl;
+      tbl
+
+  let goal_in_progress run g key =
+    match run.rt.mode with
+    | Seq -> Memo.in_progress run.rt.memo g key
+    | Worker _ -> Memo.Goal_tbl.mem (run_marks run g) key
+
+  let mark_goal_in_progress run g key =
+    match run.rt.mode with
+    | Seq -> Memo.mark_in_progress run.rt.memo g key
+    | Worker _ ->
+      Memo.Goal_tbl.replace (run_marks run g) key ();
+      (* Claim the goal so other workers wait for (or skip) it instead
+         of recomputing its whole subtree. *)
+      Memo.claim run.rt.memo g key
+
+  let unmark_goal_in_progress run g key =
+    match run.rt.mode with
+    | Seq -> Memo.unmark_in_progress run.rt.memo g key
+    | Worker _ -> Memo.Goal_tbl.remove (run_marks run g) key
 
   (* ------------------------------------------------------------------ *)
   (* Task bodies                                                         *)
@@ -374,15 +461,16 @@ module Make (M : Signatures.MODEL) = struct
      it ran under — "failures that can save future optimization effort
      ... with the same or even lower cost limits") and deliver the
      answer to whoever scheduled the goal. *)
-  let finalize_goal t gs =
+  let finalize_goal run gs =
+    let t = run.rt in
     let g = Memo.find_root t.memo gs.gs_group in
     let key = (gs.gs_required, gs.gs_excluded) in
-    Memo.unmark_in_progress t.memo g key;
+    unmark_goal_in_progress run g key;
     (match gs.gs_best with
-     | Some p -> Memo.set_winner t.memo g key (Some p) gs.gs_limit
+     | Some p -> record_winner t g key (Some p) gs.gs_limit
      | None ->
        t.stats.failures <- t.stats.failures + 1;
-       Memo.set_winner t.memo g key None gs.gs_limit);
+       record_winner t g key None gs.gs_limit);
     gs.gs_slot.answer <- gs.gs_best
 
   (* Schedule the child goal of a pursued move: push the waiter, then
@@ -399,7 +487,7 @@ module Make (M : Signatures.MODEL) = struct
   let rec next_move run gs =
     let t = run.rt in
     match gs.gs_moves with
-    | [] -> finalize_goal t gs
+    | [] -> finalize_goal run gs
     | mv :: rest ->
       gs.gs_moves <- rest;
       (match mv with
@@ -480,12 +568,12 @@ module Make (M : Signatures.MODEL) = struct
     let start_optimization () =
       t.stats.goal_misses <- t.stats.goal_misses + 1;
       t.stats.goals <- t.stats.goals + 1;
-      Memo.mark_in_progress t.memo g key;
+      mark_goal_in_progress run g key;
       gs.gs_phase <- G_collect;
       push run (T_optimize_group gs);
       push run (T_explore_group g)
     in
-    match Memo.winner t.memo g key with
+    match winner_for t g key with
     | Some { w_plan = Some p; _ } ->
       t.stats.goal_hits <- t.stats.goal_hits + 1;
       gs.gs_slot.answer <-
@@ -495,10 +583,44 @@ module Make (M : Signatures.MODEL) = struct
         t.stats.goal_hits <- t.stats.goal_hits + 1;
         gs.gs_slot.answer <- None
       end
-      else start_optimization ()
+      else begin
+        (* Recorded failure, but under a stricter bound than ours:
+           re-optimize ("the same expression and physical property
+           vector may be optimized multiple times, with increasingly
+           generous cost limits"). Workers re-optimize at the phase cap
+           so the refreshed entry answers every later consultation. *)
+        (match t.mode with
+         | Worker ctx when M.cost_compare ctx.wk_cap gs.gs_limit > 0 ->
+           gs.gs_limit <- ctx.wk_cap;
+           if t.config.pruning then gs.gs_bound <- ctx.wk_cap
+         | _ -> ());
+        start_optimization ()
+      end
     | None ->
-      if Memo.in_progress t.memo g key then gs.gs_slot.answer <- None
-      else start_optimization ()
+      if goal_in_progress run g key then gs.gs_slot.answer <- None
+      else begin
+        match t.mode with
+        | Seq -> start_optimization ()
+        | Worker ctx ->
+          let forced =
+            match ctx.wk_force with
+            | Some (fg, fkey) -> fg = g && Memo.Goal_key.equal fkey key
+            | None -> false
+          in
+          if forced then begin
+            ctx.wk_force <- None;
+            start_optimization ()
+          end
+          else if Memo.is_claimed t.memo g key then begin
+            (* Another run is computing this goal. Suspend: re-push the
+               same consultation and signal the worker loop, which parks
+               this run and picks up other work until the claim holder
+               publishes a winner (or liveness forces a duplicate). *)
+            push run (T_optimize_group gs);
+            ctx.wk_blocked <- Some (g, key)
+          end
+          else start_optimization ()
+      end
 
   (* The class is closed; fan move generation out, one task per
      multi-expression, then re-enter in [G_pursue] to assemble. *)
@@ -517,8 +639,11 @@ module Make (M : Signatures.MODEL) = struct
      rule-major (the recursive engine's enumeration order), then
      enforcer moves, stably sorted by promise, optionally truncated to
      the k most promising — then start pursuing. *)
-  let optimize_group_pursue run gs =
-    let t = run.rt in
+  (* Assemble the final move list from the per-rule collection buckets:
+     implementation moves flattened rule-major, enforcers appended,
+     promise-sorted, optionally truncated — one deterministic order
+     shared by the sequential pursuit and the parallel seeding. *)
+  let assemble_moves t gs =
     let impl = List.concat (Array.to_list gs.gs_impl) in
     let enf = enforcer_moves ~props:(lookup t gs.gs_group) ~required:gs.gs_required in
     let moves =
@@ -526,12 +651,65 @@ module Make (M : Signatures.MODEL) = struct
         (fun a b -> compare (move_promise b) (move_promise a))
         (impl @ enf)
     in
-    let moves =
-      match t.config.max_moves with
-      | None -> moves
-      | Some k -> List.filteri (fun i _ -> i < k) moves
-    in
-    gs.gs_moves <- moves;
+    match t.config.max_moves with
+    | None -> moves
+    | Some k -> List.filteri (fun i _ -> i < k) moves
+
+  (* The subgoals a goal's pending moves will schedule, each with the
+     cost limit branch-and-bound grants it: the goal's current bound
+     minus the move's local cost. Moves are filtered exactly as the
+     sequential pursuit filters them (excluded vectors, property
+     coverage, local cost already over the bound), so no never-pursued
+     goal is seeded. Every limit here is at least as generous as the
+     limit the resumed sequential pass can consult the goal under — the
+     bound only tightens after seeding — so a winner or failure
+     published at the seeded limit answers those consultations exactly
+     as a fresh sequential computation would. *)
+  let seeds_of_moves t gs moves =
+    let bound = gs.gs_bound in
+    List.concat_map
+      (fun mv ->
+        match mv with
+        | Impl { alg; input_groups; input_reqs; _ } ->
+          let delivered = M.deliver alg input_reqs in
+          if
+            excluded_by ~excluded:gs.gs_excluded ~delivered
+            || not (M.pp_covers ~provided:delivered ~required:gs.gs_required)
+          then []
+          else begin
+            let input_props = List.map (lookup t) input_groups in
+            let output_props = lookup t gs.gs_group in
+            let local =
+              M.cost_of alg ~inputs:input_props ~input_props:input_reqs
+                ~output:output_props
+            in
+            let sub_limit = M.cost_sub bound local in
+            if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then []
+            else
+              List.map2
+                (fun gi ri -> (Memo.find_root t.memo gi, (ri, None), sub_limit))
+                input_groups input_reqs
+          end
+        | Enforce { alg; relaxed; excluded; _ } ->
+          let delivered = M.deliver alg [ relaxed ] in
+          if
+            excluded_by ~excluded:gs.gs_excluded ~delivered
+            || not (M.pp_covers ~provided:delivered ~required:gs.gs_required)
+          then []
+          else begin
+            let gprops = lookup t gs.gs_group in
+            let local =
+              M.cost_of alg ~inputs:[ gprops ] ~input_props:[ relaxed ] ~output:gprops
+            in
+            let sub_limit = M.cost_sub bound local in
+            if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then []
+            else
+              [ (Memo.find_root t.memo gs.gs_group, (relaxed, Some excluded), sub_limit) ]
+          end)
+      moves
+
+  let optimize_group_pursue run gs =
+    gs.gs_moves <- assemble_moves run.rt gs;
     next_move run gs
 
   let optimize_mexpr run gs (m : Memo.mexpr) =
@@ -558,11 +736,19 @@ module Make (M : Signatures.MODEL) = struct
           implementation_index
     end
 
+  (* Raised when a parallel worker would have to explore a group. The
+     parallel phase runs only after exploration reached a fixpoint over
+     every reachable group, so this is a should-not-happen escape: the
+     worker abandons its current seed (winners it already published
+     remain sound) and the sequential finishing pass computes the rest. *)
+  exception Par_unexplored
+
   let explore_group run g =
     let t = run.rt in
     let g = Memo.find_root t.memo g in
     if Memo.is_explored t.memo g || Memo.is_exploring t.memo g then ()
     else begin
+      (match t.mode with Worker _ -> raise Par_unexplored | Seq -> ());
       Memo.set_exploring t.memo g true;
       push run (T_explore_round g)
     end
@@ -727,26 +913,29 @@ module Make (M : Signatures.MODEL) = struct
        | T_apply_enforcer st -> apply_enforcer run st);
       true
 
+  (* A run record with an empty work stack. *)
+  let fresh_run t ~root ~required ~limit goal =
+    {
+      rt = t;
+      r_root = root;
+      r_required = required;
+      r_limit = limit;
+      r_goal = goal;
+      r_stack = [];
+      r_depth = 0;
+      r_tasks = 0;
+      r_millis = 0.;
+      r_status = None;
+      r_marks = Hashtbl.create 8;
+    }
+
   (** Begin a resumable optimization: capture the query in the memo and
       set up the root goal. No search work happens until {!resume}. *)
   let start ?(limit = M.cost_infinite) t (query : M.op Tree.t) ~required : run =
     let root = insert_query t query in
     let slot = { answer = None } in
     let goal = new_goal t ~group:root ~required ~excluded:None ~limit slot in
-    let run =
-      {
-        rt = t;
-        r_root = root;
-        r_required = required;
-        r_limit = limit;
-        r_goal = goal;
-        r_stack = [];
-        r_depth = 0;
-        r_tasks = 0;
-        r_millis = 0.;
-        r_status = None;
-      }
-    in
+    let run = fresh_run t ~root ~required ~limit goal in
     push run (T_optimize_group goal);
     run
 
@@ -872,6 +1061,299 @@ module Make (M : Signatures.MODEL) = struct
     let run = start ~limit t query ~required in
     ignore (resume ?budget run : status);
     outcome_of run
+
+  (* ------------------------------------------------------------------ *)
+  (* Intra-query parallel search                                         *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Every group reachable from [root] through multi-expression inputs,
+     in deterministic preorder. *)
+  let reachable_groups t root =
+    let seen = Hashtbl.create 64 in
+    let order = ref [] in
+    let rec go g =
+      let g = Memo.find_root t.memo g in
+      if not (Hashtbl.mem seen g) then begin
+        Hashtbl.add seen g ();
+        order := g :: !order;
+        List.iter
+          (fun (m : Memo.mexpr) -> List.iter go m.inputs)
+          (Memo.mexprs t.memo g)
+      end
+    in
+    go root;
+    List.rev !order
+
+  (* Close every reachable class before the workers start: first the
+     root's own exploration cascade (the sequential engine's first move,
+     task for task), then any reachable group still unexplored, until
+     the reachable set is stable. Afterwards the memo's logical
+     structure is frozen: move generation and goal pursuit only read
+     it, which is what makes the parallel phase race-free. *)
+  let explore_reachable t root ~required ~limit =
+    let goal = new_goal t ~group:root ~required ~excluded:None ~limit { answer = None } in
+    let run = fresh_run t ~root ~required ~limit goal in
+    let drain () =
+      while step run do
+        ()
+      done
+    in
+    let rec fix () =
+      let unexplored =
+        List.filter (fun g -> not (Memo.is_explored t.memo g)) (reachable_groups t root)
+      in
+      if unexplored <> [] then begin
+        List.iter (fun g -> push run (T_explore_group g)) (List.rev unexplored);
+        drain ();
+        fix ()
+      end
+    in
+    push run (T_explore_group (Memo.find_root t.memo root));
+    drain ();
+    fix ()
+
+  (* Dedup seeds per (group, goal key), keeping the most generous limit
+     (an entry computed under it answers the consultations of every
+     merged duplicate), and order them bottom-up (lower group ids were
+     created earlier, hence sit lower in the query), so workers publish
+     shared subgoal winners before the larger goals that consult them
+     start. *)
+  let dedup_seeds seeds =
+    let seen : (int, M.cost Memo.Goal_tbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (g, key, limit) ->
+        let tbl =
+          match Hashtbl.find_opt seen g with
+          | Some tbl -> tbl
+          | None ->
+            let tbl = Memo.Goal_tbl.create 8 in
+            Hashtbl.add seen g tbl;
+            tbl
+        in
+        match Memo.Goal_tbl.find_opt tbl key with
+        | None ->
+          Memo.Goal_tbl.replace tbl key limit;
+          order := (g, key) :: !order
+        | Some prev ->
+          if M.cost_compare limit prev > 0 then Memo.Goal_tbl.replace tbl key limit)
+      seeds;
+    List.stable_sort
+      (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+      (List.rev_map
+         (fun (g, key) -> (g, key, Memo.Goal_tbl.find (Hashtbl.find seen g) key))
+         !order)
+
+  (* The parallel phase: [domains] worker domains cooperate over the
+     initial seed queue plus the shared help-first pool. Each claimed
+     goal is computed with the standard task engine against a private
+     worker view — shared memo, lock-striped winner access, per-run
+     in-progress marks and per-worker stats — under the exact cost limit
+     branch-and-bound grants that subgoal given the incumbent plan found
+     by the sequential prefix. Seeding at those limits keeps Figure 2's
+     pruning alive inside every worker (seeding at infinite limits would
+     perform the exhaustive, unpruned DP — an order of magnitude more
+     work on the join workloads), and is sufficient: the resumed pass
+     can only consult these goals under limits at most as generous (its
+     bound only tightens), which any published winner (a true optimum)
+     or failure (with the seeded bound) answers exactly as a fresh
+     sequential computation would.
+
+     A run that reaches a goal claimed by another run SUSPENDS (its
+     stack parks on the worker's blocked queue) and the worker picks up
+     other goals; it resumes once the claim holder publishes. That keeps
+     total work near the sequential engine's instead of letting workers
+     duplicate each other's subtrees. Liveness: when a worker has
+     nothing runnable and a full poll sweep makes no progress, it
+     force-computes the first blocked run's blocking goal — a bounded
+     duplicate, counted in [par_dup_goals], never an error, since
+     winners merge monotonically and racing publishes commute. *)
+  let par_phase t ~domains ~deadline ~cap seeds =
+    let seeds = Array.of_list seeds in
+    let next = Atomic.make 0 in
+    let work () =
+      let wstats = Search_stats.create () in
+      let ctx = { wk_cap = cap; wk_blocked = None; wk_force = None } in
+      let wt =
+        { t with stats = wstats; config = { t.config with trace = None };
+          mode = Worker ctx }
+      in
+      let past_deadline () =
+        match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+      in
+      (* Suspended runs, each paired with the goal it last blocked on. *)
+      let blocked : (run * (Memo.group * Memo.Goal_key.t)) Queue.t =
+        Queue.create ()
+      in
+      (* Step a run until it completes (true) or suspends (false). *)
+      let step_through run =
+        let rec go () =
+          ctx.wk_blocked <- None;
+          if not (step run) then true
+          else if ctx.wk_blocked = None then go ()
+          else false
+        in
+        try go ()
+        with Par_unexplored ->
+          run.r_stack <- [];
+          true
+      in
+      let park run = Queue.add (run, Option.get ctx.wk_blocked) blocked in
+      let launch (g, key, limit) =
+        if Memo.try_claim t.memo g key then begin
+          wstats.Search_stats.par_goals_claimed <-
+            wstats.Search_stats.par_goals_claimed + 1;
+          let required, excluded = key in
+          let goal = new_goal wt ~group:g ~required ~excluded ~limit { answer = None } in
+          let run = fresh_run wt ~root:g ~required ~limit goal in
+          push run (T_optimize_group goal);
+          (* We just claimed the goal ourselves: let this run compute it. *)
+          ctx.wk_force <- Some (g, key);
+          let completed = step_through run in
+          ctx.wk_force <- None;
+          if not completed then park run
+        end
+      in
+      let next_global () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length seeds then None else Some seeds.(i)
+      in
+      let finished = ref false in
+      (* Consecutive sweeps in which nothing advanced. While waiting,
+         yield the processor — the claim holder may share our core (it
+         certainly does on a single-core host), and busy-forcing its
+         territory is how waiting degenerates into duplicated search.
+         Only after sustained futility (a cross-worker wait cycle) does
+         the worker force-compute a blocking goal to guarantee
+         progress. *)
+      let idle_sweeps = ref 0 in
+      while not !finished do
+        if past_deadline () then finished := true
+        else begin
+          (* Poll suspended runs first: resuming one whose blocking goal
+             has been published both finishes real work and releases
+             claims other workers may be waiting on. A still-blocked
+             poll costs exactly one (re-pushed) task. *)
+          let progressed = ref false in
+          let n = Queue.length blocked in
+          for _ = 1 to n do
+            let run, _ = Queue.pop blocked in
+            let before = run.r_tasks in
+            if step_through run then progressed := true
+            else begin
+              park run;
+              if run.r_tasks > before + 1 then progressed := true
+            end
+          done;
+          match next_global () with
+          | Some s ->
+            idle_sweeps := 0;
+            launch s
+          | None ->
+            if Queue.is_empty blocked then finished := true
+            else if !progressed then idle_sweeps := 0
+            else begin
+              incr idle_sweeps;
+              if !idle_sweeps > 50 then begin
+                (* Nothing runnable and no poll advanced for a long
+                   stretch: duplicate the first blocked run's blocking
+                   goal to guarantee system-wide progress. *)
+                idle_sweeps := 0;
+                let run, bg = Queue.pop blocked in
+                ctx.wk_force <- Some bg;
+                if not (step_through run) then park run;
+                ctx.wk_force <- None
+              end
+              else Unix.sleepf 0.0002
+            end
+        end
+      done;
+      wstats
+    in
+    let workers = List.init domains (fun _ -> Domain.spawn work) in
+    List.iter (fun d -> Search_stats.merge ~into:t.stats (Domain.join d)) workers
+
+  (** {!optimize} with intra-query parallelism. With [domains = n > 1]
+      the optimization runs in four phases:
+
+      {ol
+      {- exploration runs to a fixpoint sequentially, freezing the
+         memo's logical structure (workers never fire transformation
+         rules, so no equivalence classes merge under their feet);}
+      {- the sequential engine runs as usual up to its {e first}
+         complete candidate plan — the incumbent, whose cost bounds
+         every limit the rest of the search can use;}
+      {- [n] OCaml domains optimize the root's remaining subgoals —
+         sibling input goals and enforcer goals — against the shared
+         memo under the incumbent's cost limit, claiming goals so
+         duplicates wait instead of racing, offering their own pending
+         subgoals to a shared help-first pool, and publishing winners
+         under lock stripes with monotonic merge;}
+      {- the paused sequential run resumes over the warm winner tables
+         and computes the final answer.}}
+
+      The final plan and cost are bit-identical to the sequential engine
+      at any domain count — phase 3 only publishes entries the
+      sequential engine itself would record (true optima, true bounded
+      failures), so the resumed run consults warm answers but can never
+      be steered to a different result. Only effort statistics (tasks,
+      hits, claimed and duplicated goals) vary with scheduling.
+      [domains <= 1] is exactly {!optimize}. Budgets with [domains > 1]
+      bound the wall clock across all phases but the task count only in
+      the sequential phases; the trace hook only sees the sequential
+      phases. *)
+  let run ?(limit = M.cost_infinite) ?budget ?(domains = 1) t (query : M.op Tree.t)
+      ~required : outcome =
+    if domains <= 1 then optimize ~limit ?budget t query ~required
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let deadline =
+        let b = Option.value budget ~default:t.config.budget in
+        Option.map (fun ms -> t0 +. (ms /. 1000.)) b.max_millis
+      in
+      let past_deadline () =
+        match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+      in
+      let root = insert_query t query in
+      let key = (required, None) in
+      let answered =
+        match Memo.winner t.memo root key with
+        | Some { w_plan = Some p; _ } -> (not t.config.pruning) || cost_le p.p_cost limit
+        | Some { w_plan = None; w_bound } -> cost_le limit w_bound
+        | None -> false
+      in
+      if not answered then begin
+        explore_reachable t root ~required ~limit;
+        Memo.compress_paths t.memo
+      end;
+      let r = start ~limit t query ~required in
+      if not answered then begin
+        (* Sequential prefix: drive the engine to its first complete
+           candidate. Promise ordering makes this a near-greedy descent,
+           a small fraction of the total search. *)
+        while r.r_stack <> [] && r.r_goal.gs_best = None && not (past_deadline ()) do
+          ignore (step r : bool)
+        done;
+        match r.r_goal.gs_best with
+        | Some incumbent when r.r_stack <> [] && not (past_deadline ()) ->
+          (* The root's move list is already assembled and mid-pursuit
+             with its bound tightened to the incumbent's cost: the goals
+             its remaining moves will demand, at the limits
+             branch-and-bound grants them, are the parallel seeds. *)
+          let seeds = dedup_seeds (seeds_of_moves t r.r_goal r.r_goal.gs_moves) in
+          if seeds <> [] then begin
+            Memo.reset_claims t.memo;
+            par_phase t ~domains ~deadline ~cap:incumbent.p_cost seeds
+          end
+        | _ -> ()
+      end;
+      (* Charge the exploration, prefix, and parallel phases against the
+         run's wall clock so a time budget bounds the whole
+         optimization, not just the finishing pass. *)
+      r.r_millis <- (Unix.gettimeofday () -. t0) *. 1000.;
+      ignore (resume ?budget r : status);
+      outcome_of r
+    end
 
   (* Render the memo: every equivalence class with its logical
      multi-expressions and the winners recorded per optimization goal —

@@ -58,6 +58,11 @@ type t = {
   mutable tasks : int;
   tasks_by_kind : int array;  (** indexed by [task_kind_index] *)
   mutable stack_hwm : int;
+  mutable par_goals_claimed : int;
+      (** goals claimed and computed by parallel workers *)
+  mutable par_dup_goals : int;
+      (** goals a worker computed only to find another worker had
+          already published an (equivalent) winner *)
 }
 
 let create () =
@@ -76,6 +81,8 @@ let create () =
     tasks = 0;
     tasks_by_kind = Array.make (List.length task_kinds) 0;
     stack_hwm = 0;
+    par_goals_claimed = 0;
+    par_dup_goals = 0;
   }
 
 let reset t =
@@ -92,7 +99,9 @@ let reset t =
   t.merges <- 0;
   t.tasks <- 0;
   Array.fill t.tasks_by_kind 0 (Array.length t.tasks_by_kind) 0;
-  t.stack_hwm <- 0
+  t.stack_hwm <- 0;
+  t.par_goals_claimed <- 0;
+  t.par_dup_goals <- 0
 
 let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
 
@@ -110,6 +119,8 @@ let merge ~into t =
   into.merges <- into.merges + t.merges;
   into.tasks <- into.tasks + t.tasks;
   Array.iteri (fun i n -> into.tasks_by_kind.(i) <- into.tasks_by_kind.(i) + n) t.tasks_by_kind;
+  into.par_goals_claimed <- into.par_goals_claimed + t.par_goals_claimed;
+  into.par_dup_goals <- into.par_dup_goals + t.par_dup_goals;
   if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
 
 let diff ~since t =
@@ -127,6 +138,8 @@ let diff ~since t =
   d.merges <- t.merges - since.merges;
   d.tasks <- t.tasks - since.tasks;
   Array.iteri (fun i n -> d.tasks_by_kind.(i) <- n - since.tasks_by_kind.(i)) t.tasks_by_kind;
+  d.par_goals_claimed <- t.par_goals_claimed - since.par_goals_claimed;
+  d.par_dup_goals <- t.par_dup_goals - since.par_dup_goals;
   d
 
 let count_task t kind =
@@ -141,9 +154,10 @@ let note_stack_depth t depth = if depth > t.stack_hwm then t.stack_hwm <- depth
 let pp ppf t =
   Format.fprintf ppf
     "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
-     failures=%d pruned=%d merges=%d tasks=%d hwm=%d"
+     failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d"
     t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
     t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
+    t.par_goals_claimed t.par_dup_goals
 
 let pp_tasks ppf t =
   Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks

@@ -48,6 +48,12 @@ type t = {
   mutable tasks : int;  (** total tasks executed by the stepper loop *)
   tasks_by_kind : int array;  (** per-kind totals; read via {!tasks_of_kind} *)
   mutable stack_hwm : int;  (** work-stack high-water mark *)
+  mutable par_goals_claimed : int;
+      (** goals claimed and computed by parallel search workers *)
+  mutable par_dup_goals : int;
+      (** goals a parallel worker computed only to find another worker
+          had already published an equivalent winner (bounded in-flight
+          duplication; the published result is unaffected) *)
 }
 
 val create : unit -> t

@@ -4,13 +4,19 @@
 type 'op t = Node of 'op * 'op t list
 
 val node : 'op -> 'op t list -> 'op t
+(** [node op inputs] builds one tree node. *)
 
 val op : 'op t -> 'op
+(** The root operator. *)
 
 val inputs : 'op t -> 'op t list
+(** The root's input subtrees, in order. *)
 
 val size : 'op t -> int
+(** Number of nodes. *)
 
 val map : ('a -> 'b) -> 'a t -> 'b t
+(** Rewrite every operator, preserving the shape. *)
 
 val pp : (Format.formatter -> 'op -> unit) -> Format.formatter -> 'op t -> unit
+(** Indented multi-line rendering, given an operator printer. *)

@@ -14,6 +14,7 @@ let () =
       ("executor", Suite_executor.suite);
       ("access_paths", Suite_access_paths.suite);
       ("parallel", Suite_parallel.suite);
+      ("parsearch", Suite_parsearch.suite);
       ("dynplan", Suite_dynplan.suite);
       ("session", Suite_session.suite);
       ("plansrv", Suite_plansrv.suite);
