@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- a1..a10 -- one ablation
      dune exec bench/main.exe -- plansrv -- plan-cache service (BENCH_plansrv.json)
      dune exec bench/main.exe -- parsearch -- intra-query parallel search (BENCH_parsearch.json)
+     dune exec bench/main.exe -- pruning -- guided-pruning ablation (BENCH_pruning.json)
+     dune exec bench/main.exe -- pruning smoke -- CI mode: small sizes, nonzero exit on failure
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -825,6 +827,160 @@ let parsearch_bench ~full () =
   Printf.printf "\n  wrote BENCH_parsearch.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* PRUNING  Guided-pruning ablation (BENCH_pruning.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Three arms over the same workloads: no pruning at all, plain
+   Figure-2 branch-and-bound, and Figure 2 plus the guided layer
+   (group cost lower bounds driving goal kills, doomed-move
+   projections, and sibling-aware input limits). The winning plan must
+   be bit-identical across every arm and, for the guided arm, across
+   1/2/4 domains; total engine tasks are the machine-independent work
+   measure. [smoke] shrinks the sizes for CI and makes the run exit
+   nonzero when any arm diverges or the star workload shows no
+   lower-bound pruning. *)
+let pruning_bench ?(smoke = false) ~full () =
+  header "PRUNING  Guided pruning ablation (group cost lower bounds)";
+  Printf.printf
+    "Per workload and required property: wall clock (best of %d), total engine\n\
+     tasks, and the guided-pruning counters. \"identical\" compares the plan\n\
+     rendering (operators, properties, per-node costs to the last bit) against\n\
+     the no-pruning arm of the same workload.\n\n"
+    (if smoke then 1 else 3);
+  let sizes = if smoke then [ 4; 5 ] else if full then [ 5; 6; 7; 8 ] else [ 5; 6; 7 ] in
+  let reps = if smoke then 1 else 3 in
+  let workloads =
+    List.concat_map
+      (fun n -> [ (Workload.Chain, "chain", n); (Workload.Star, "star", n) ])
+      sizes
+  in
+  let arms = [ ("none", false, false); ("figure2", true, false); ("guided", true, true) ] in
+  let render (result : Relmodel.Optimizer.result) =
+    match result.plan with
+    | None -> "NONE"
+    | Some p ->
+      Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Printf.printf
+    "  workload | required | arm     | wall (ms) | tasks | lb-pruned | tightened | fastpath | identical\n";
+  Printf.printf
+    "  ---------+----------+---------+-----------+-------+-----------+-----------+----------+----------\n";
+  let rows =
+    List.concat_map
+      (fun (shape, name, n) ->
+        let q =
+          Workload.generate
+            (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (1300 * n)) ())
+        in
+        let requireds =
+          [
+            ("any", Phys_prop.any);
+            ("sorted", Phys_prop.sorted (Sort_order.asc [ List.hd q.relations ^ ".jk1" ]));
+          ]
+        in
+        List.concat_map
+          (fun (rname, required) ->
+            let measure ~pruning ~guided ~domains =
+              let request =
+                {
+                  (Relmodel.Optimizer.request q.catalog) with
+                  restore_columns = false;
+                  pruning;
+                  guided_pruning = guided;
+                  domains;
+                }
+              in
+              let best = ref infinity and last = ref None in
+              for _ = 1 to reps do
+                let dt, r =
+                  time_it (fun () ->
+                      Relmodel.Optimizer.optimize request q.logical ~required)
+                in
+                if dt < !best then best := dt;
+                last := Some r
+              done;
+              (!best *. 1000., Option.get !last)
+            in
+            let baseline = ref "" in
+            let arm_rows =
+              List.map
+                (fun (arm, pruning, guided) ->
+                  let ms, r = measure ~pruning ~guided ~domains:1 in
+                  let rendered = render r in
+                  if arm = "none" then baseline := rendered;
+                  let identical = rendered = !baseline in
+                  if not identical then
+                    fail "%s n=%d %s: arm %s diverges from no-pruning plan" name n
+                      rname arm;
+                  let s = r.stats in
+                  Printf.printf
+                    "  %5s n=%d | %8s | %-7s | %9.1f | %5d | %9d | %9d | %8d | %b\n%!"
+                    name n rname arm ms s.tasks s.goals_pruned_lb
+                    s.input_limits_tightened s.memo_fastpath_hits identical;
+                  ( name, n, rname, arm, ms, s.tasks, s.goals_pruned_lb,
+                    s.input_limits_tightened, s.memo_fastpath_hits,
+                    (match r.plan with Some p -> Cost.total p.cost | None -> nan),
+                    identical ))
+                arms
+            in
+            (* The guided arm must stay bit-identical in parallel too. *)
+            List.iter
+              (fun domains ->
+                let _, r = measure ~pruning:true ~guided:true ~domains in
+                if render r <> !baseline then
+                  fail "%s n=%d %s: guided arm at %d domains diverges" name n rname
+                    domains)
+              [ 2; 4 ];
+            arm_rows)
+          requireds)
+      workloads
+  in
+  let star_tasks arm =
+    List.fold_left
+      (fun acc (name, _, _, a, _, tasks, _, _, _, _, _) ->
+        if name = "star" && a = arm then acc + tasks else acc)
+      0 rows
+  in
+  let star_lb_pruned =
+    List.fold_left
+      (fun acc (name, _, _, a, _, _, lb, _, _, _, _) ->
+        if name = "star" && a = "guided" then acc + lb else acc)
+      0 rows
+  in
+  let f2 = star_tasks "figure2" and guided = star_tasks "guided" in
+  let reduction = 100. *. (1. -. (Float.of_int guided /. Float.of_int f2)) in
+  Printf.printf
+    "\n  star workload: figure2 %d tasks, guided %d tasks (%.1f%% reduction); \
+     lb-pruned %d\n"
+    f2 guided reduction star_lb_pruned;
+  if star_lb_pruned = 0 then
+    fail "star workload: guided arm never pruned on a lower bound";
+  let oc = open_out "BENCH_pruning.json" in
+  Printf.fprintf oc
+    "{\n  \"star_task_reduction_pct\": %.2f,\n  \"star_goals_pruned_lb\": %d,\n\
+    \  \"all_arms_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
+    reduction star_lb_pruned (!failures = [])
+    (String.concat ",\n"
+       (List.map
+          (fun (name, n, rname, arm, ms, tasks, lb, tight, fast, cost, identical) ->
+            Printf.sprintf
+              "    { \"workload\": \"%s\", \"relations\": %d, \"required\": \"%s\", \
+               \"arm\": \"%s\", \"wall_ms\": %.2f, \"tasks\": %d, \
+               \"goals_pruned_lb\": %d, \"input_limits_tightened\": %d, \
+               \"memo_fastpath_hits\": %d, \"plan_cost\": %.17g, \
+               \"identical_to_no_pruning\": %b }"
+              name n rname arm ms tasks lb tight fast cost identical)
+          rows));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_pruning.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -900,7 +1056,8 @@ let micro () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "full" args in
-  let args = List.filter (fun a -> a <> "full") args in
+  let smoke = List.mem "smoke" args in
+  let args = List.filter (fun a -> a <> "full" && a <> "smoke") args in
   let all = args = [] || args = [ "all" ] in
   let want name = all || List.mem name args in
   let t0 = Unix.gettimeofday () in
@@ -917,5 +1074,6 @@ let () =
   if want "a10" then a10 ~full ();
   if want "plansrv" then plansrv_bench ~full ();
   if want "parsearch" then parsearch_bench ~full ();
+  if want "pruning" then pruning_bench ~smoke ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -51,8 +51,8 @@ let print_tables catalog =
       Format.printf "%-6s %6d rows  %a@." t.name (Array.length t.tuples) Schema.pp t.schema)
     (Catalog.tables catalog)
 
-let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeout_ms
-    trace domains =
+let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_steps
+    timeout_ms trace domains =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -65,6 +65,7 @@ let run_optimize sql execute compare_exodus no_pruning left_deep max_steps timeo
       {
         (Relmodel.Optimizer.request catalog) with
         pruning = not no_pruning;
+        guided_pruning = not no_guided;
         flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
         max_tasks = max_steps;
         max_millis = timeout_ms;
@@ -261,6 +262,14 @@ let optimize_cmd =
   let no_pruning =
     Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable branch-and-bound pruning.")
   in
+  let no_guided =
+    Arg.(
+      value & flag
+      & info [ "no-guided-pruning" ]
+          ~doc:
+            "Keep plain Figure-2 branch-and-bound but disable the guided layer: group \
+             cost lower bounds, lower-bound goal kills, and sibling-aware input limits.")
+  in
   let left_deep =
     Arg.(value & flag & info [ "left-deep" ] ~doc:"Restrict join plans to left-deep shape.")
   in
@@ -296,8 +305,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
     Term.(
-      const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ left_deep
-      $ max_steps $ timeout_ms $ trace $ domains)
+      const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ no_guided
+      $ left_deep $ max_steps $ timeout_ms $ trace $ domains)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())

@@ -146,6 +146,11 @@ let make ~store ?(params = default_params) () : (module OO_MODEL) =
       | O_filter _ -> input
       | Pointer_chase ps | Assembly ps -> Path_set.union input (Path_set.of_list ps)
 
+    (* The always-sound trivial bound: guided pruning stays inert for
+       this model (O_filter produces its output for pure CPU cost, so
+       no output-proportional floor holds across all algorithms). *)
+    let cost_lower_bound (_ : logical_props) (_ : phys_props) = Relalg.Cost.zero
+
     let transforms = [ materialize_merge; select_past_materialize; materialize_past_select ]
 
     let choice alg inputs alternatives =

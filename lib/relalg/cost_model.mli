@@ -14,6 +14,11 @@ type params = {
   net_tuple : float;  (** seconds to ship one tuple through an exchange *)
 }
 
+val log2 : float -> float
+(** The sort-cost logarithm, clamped to at least one level. Exposed so
+    cost lower bounds can reproduce the sort-cost floor with the exact
+    same floating-point expression as {!cost}. *)
+
 val default : params
 (** Calibrated so a scan of a paper-sized relation (1,200–7,200 records
     of 100 bytes) costs milliseconds, like the ~12 MIPS SparcStation-1

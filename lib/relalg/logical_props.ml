@@ -5,9 +5,10 @@ type t = {
   distincts : (string * float) list;
   ranges : (string * (float * float)) list;
   relations : string list;
+  grouped : bool;
 }
 
-let make ~schema ~card ~distincts ?(ranges = []) ?(relations = []) () =
+let make ~schema ~card ~distincts ?(ranges = []) ?(relations = []) ?(grouped = false) () =
   {
     schema;
     card = Float.max card 0.;
@@ -15,6 +16,7 @@ let make ~schema ~card ~distincts ?(ranges = []) ?(relations = []) () =
     distincts;
     ranges;
     relations;
+    grouped;
   }
 
 let range_of t column =

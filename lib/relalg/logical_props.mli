@@ -14,6 +14,11 @@ type t = {
   relations : string list;
       (** base relations contributing to this result, for rule condition
           code (e.g. left-deep restrictions, predicate placement) *)
+  grouped : bool;
+      (** whether any aggregation (group-by) contributed to this result.
+          Cost lower bounds consult this: an aggregate can deliver its
+          key order without a sort, so sort-cost floors must not be
+          asserted over grouped expressions. *)
 }
 
 val make :
@@ -22,10 +27,15 @@ val make :
   distincts:(string * float) list ->
   ?ranges:(string * (float * float)) list ->
   ?relations:string list ->
+  ?grouped:bool ->
   unit ->
   t
 
 val range_of : t -> string -> (float * float) option
+
+val canonical_name : t -> string -> string
+(** Resolve a possibly-unqualified column name against the schema,
+    returning it unchanged when it does not resolve. *)
 
 val distinct_of : t -> string -> float
 (** Distinct-count estimate for a column, clamped by [card], defaulting

@@ -19,13 +19,13 @@ let op registry (o : Logical.op) (inputs : Logical_props.t list) : Logical_props
     let i = in1 () in
     let sel = Catalog.Selectivity.predicate i pred in
     Logical_props.make ~schema:i.schema ~card:(i.card *. sel) ~distincts:i.distincts
-      ~ranges:i.ranges ~relations:i.relations ()
+      ~ranges:i.ranges ~relations:i.relations ~grouped:i.grouped ()
   | Logical.Project cols ->
     let i = in1 () in
     let schema = Schema.project i.schema cols in
     let keep assoc = List.filter (fun (c, _) -> Schema.mem schema c) assoc in
     Logical_props.make ~schema ~card:i.card ~distincts:(keep i.distincts)
-      ~ranges:(keep i.ranges) ~relations:i.relations ()
+      ~ranges:(keep i.ranges) ~relations:i.relations ~grouped:i.grouped ()
   | Logical.Join pred ->
     let l, r = in2 () in
     let sel = Catalog.Selectivity.join ~left:l ~right:r pred in
@@ -35,20 +35,23 @@ let op registry (o : Logical.op) (inputs : Logical_props.t list) : Logical_props
       ~distincts:(l.distincts @ r.distincts)
       ~ranges:(l.ranges @ r.ranges)
       ~relations:(l.relations @ r.relations)
-      ()
+      ~grouped:(l.grouped || r.grouped) ()
   | Logical.Union ->
     let l, r = in2 () in
     Logical_props.make ~schema:l.schema ~card:(l.card +. r.card) ~distincts:l.distincts
-      ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+      ~ranges:l.ranges ~relations:(l.relations @ r.relations)
+      ~grouped:(l.grouped || r.grouped) ()
   | Logical.Intersect ->
     let l, r = in2 () in
     Logical_props.make ~schema:l.schema
       ~card:(Float.min l.card r.card /. 2.)
-      ~distincts:l.distincts ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+      ~distincts:l.distincts ~ranges:l.ranges ~relations:(l.relations @ r.relations)
+      ~grouped:(l.grouped || r.grouped) ()
   | Logical.Difference ->
     let l, r = in2 () in
     Logical_props.make ~schema:l.schema ~card:(l.card /. 2.) ~distincts:l.distincts
-      ~ranges:l.ranges ~relations:(l.relations @ r.relations) ()
+      ~ranges:l.ranges ~relations:(l.relations @ r.relations)
+      ~grouped:(l.grouped || r.grouped) ()
   | Logical.Group_by (keys, aggs) ->
     let i = in1 () in
     let key_schema = Schema.project i.schema keys in
@@ -66,7 +69,7 @@ let op registry (o : Logical.op) (inputs : Logical_props.t list) : Logical_props
         (fun (c, d) -> if Schema.mem key_schema c then Some (c, Float.min d card) else None)
         i.distincts
     in
-    Logical_props.make ~schema ~card ~distincts ~relations:i.relations ()
+    Logical_props.make ~schema ~card ~distincts ~relations:i.relations ~grouped:true ()
 
 let rec expr registry (e : Logical.expr) =
   op registry e.op (List.map (expr registry) e.inputs)

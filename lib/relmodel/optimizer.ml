@@ -19,6 +19,7 @@ type request = {
   params : Relalg.Cost_model.params;
   flags : Rel_model.flags;
   pruning : bool;
+  guided_pruning : bool;
   max_moves : int option;
   limit : Relalg.Cost.t option;
   max_tasks : int option;
@@ -34,6 +35,7 @@ let request catalog =
     params = Relalg.Cost_model.default;
     flags = Rel_model.default_flags;
     pruning = true;
+    guided_pruning = true;
     max_moves = None;
     limit = None;
     max_tasks = None;
@@ -71,6 +73,7 @@ let make_searcher req =
   let config =
     {
       S.pruning = req.pruning;
+      guided = req.guided_pruning;
       max_moves = req.max_moves;
       budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
       trace = req.trace;

@@ -30,6 +30,11 @@ type request = {
   params : Relalg.Cost_model.params;
   flags : Rel_model.flags;
   pruning : bool;
+  guided_pruning : bool;
+      (** layer group cost lower bounds on top of Figure-2 pruning:
+          kill goals whose bound exceeds their limit and tighten input
+          limits by unresolved siblings' bounds (default [true]; no
+          effect when [pruning] is off) *)
   max_moves : int option;
   limit : Relalg.Cost.t option;  (** cost limit (Figure 2's Limit); [None] = infinity *)
   max_tasks : int option;  (** deterministic step budget; [None] = unlimited *)

@@ -307,6 +307,84 @@ let make ~catalog ?(params = Cost_model.default) ?(flags = default_flags) () :
         end
       end
 
+    (* A certified lower bound on the cost of any plan delivering
+       [required] for an expression with logical properties [props]
+       (see {!Signatures.MODEL.cost_lower_bound}). Three additive
+       floors, each provable against every algorithm shape in
+       {!Cost_model}:
+       - copy: every plan's top non-exchange, non-sort operator pays
+         [card * cpu_tuple] to produce the result; exchanges, [Sort]
+         and [Sort_dedup] inherit the floor from their input, which
+         belongs to the same class and so has the same cardinality;
+       - leaves: transformation rules preserve the multiset of base
+         relations, so every plan contains one access-path leaf per
+         relation occurrence. A relation without indexes can only be
+         read by a full [Table_scan] ([pages * io_time]); with indexes
+         at least the index descent plus one data page is paid, so
+         [min pages 2 * io_time] holds either way;
+       - sort: when an order is required over a single-relation,
+         aggregate-free class whose relation offers no ordered access
+         path on the leading required column (no index, no stored
+         order), the order can only originate at a [Sort] or
+         [Sort_dedup] of at least [card] rows (cardinality never grows
+         along a unary chain). Joins and set operations are excluded —
+         they can expand cardinality above the ordered side's — as are
+         grouped classes, where [Stream_aggregate] delivers its key
+         order for a comparison-only cost.
+       The floors reuse {!Cost_model}'s exact floating-point
+       expressions, so the bound can equal an optimal plan's cost to
+       the last bit but never exceed it. Parallel execution scales an
+       operator's cost by [1/workers] at most, so the whole bound is
+       scaled likewise. *)
+    let cost_lower_bound (props : Logical_props.t) (required : Phys_prop.t) : Cost.t =
+      let copy_cpu = props.Logical_props.card *. params.Cost_model.cpu_tuple in
+      let leaf_io =
+        List.fold_left
+          (fun acc name ->
+            match Catalog.find_opt catalog name with
+            | None -> acc
+            | Some tbl ->
+              let pg =
+                Logical_props.pages ~page_size:params.Cost_model.page_bytes
+                  (Catalog.base_props tbl)
+              in
+              let floor_pages = if tbl.indexes = [] then pg else Float.min pg 2. in
+              acc +. (floor_pages *. params.Cost_model.io_time))
+          0. props.Logical_props.relations
+      in
+      let sort_cpu =
+        match required.Phys_prop.order with
+        | [] -> 0.
+        | (lead, _) :: _ -> begin
+          match props.Logical_props.relations with
+          | [ name ] when not props.Logical_props.grouped -> begin
+            match Catalog.find_opt catalog name with
+            | None -> 0.
+            | Some tbl ->
+              let canon c =
+                match Schema.resolve tbl.schema c with
+                | resolved -> resolved
+                | exception Not_found -> c
+              in
+              let lead = canon (Logical_props.canonical_name props lead) in
+              let leads c = String.equal (canon c) lead in
+              let free_order =
+                (match tbl.stored_order with (c, _) :: _ -> leads c | [] -> false)
+                || List.exists (function c :: _ -> leads c | [] -> false) tbl.indexes
+              in
+              if free_order then 0.
+              else begin
+                let n = Float.max props.Logical_props.card 1. in
+                n *. (Cost_model.log2 n +. 1.) *. params.Cost_model.cpu_compare
+              end
+          end
+          | _ -> 0.
+        end
+      in
+      let bound = Cost.make ~io:leaf_io ~cpu:(copy_cpu +. sort_cpu) in
+      if params.Cost_model.workers <= 1 then bound
+      else Cost.scale (1. /. Float.of_int params.Cost_model.workers) bound
+
     (* ------------------------------------------------------------------ *)
 
     let transforms =

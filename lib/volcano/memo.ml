@@ -7,7 +7,14 @@
     expression are detected through the expression index; when the same
     expression is derived in two classes, the classes are merged
     (union-find), and only the expressions referencing the dead class
-    are re-indexed (each group tracks its parent expressions). *)
+    are re-indexed (each group tracks its parent expressions).
+
+    Two hash-consing fast paths keep the hot lookups off structural
+    hashing: multi-expressions carry a precomputed combined hash
+    (operator hash folded with input group ids), and optimization-goal
+    keys — (required property vector, excluding vector) pairs — are
+    interned to small integer ids, so winner, claim, in-progress, and
+    lower-bound tables are plain integer-keyed hash tables. *)
 
 module Make (M : Signatures.MODEL) = struct
   type group = int
@@ -15,6 +22,9 @@ module Make (M : Signatures.MODEL) = struct
   type mexpr = {
     op : M.op;
     op_h : int;  (** cached [M.op_hash op]: operators can be large *)
+    mutable key_h : int;
+        (** cached combined structural hash ([op_h] folded with the
+            input group ids); recomputed when a merge re-points inputs *)
     mutable inputs : group list;
         (** kept canonical: re-pointed whenever an input group merges *)
     mutable owner : group;  (** canonicalize with [find_root] before use *)
@@ -54,6 +64,16 @@ module Make (M : Signatures.MODEL) = struct
 
   module Goal_tbl = Hashtbl.Make (Goal_key)
 
+  (** Interned-goal-id tables: the fast path for every per-group table.
+      Ids are small sequential integers, so hashing is the identity. *)
+  module Id_tbl = Hashtbl.Make (struct
+    type t = int
+
+    let equal (a : int) (b : int) = a = b
+
+    let hash (i : int) = i
+  end)
+
   type group_data = {
     gid : int;
     mutable parent : int;  (** union-find; self when root *)
@@ -61,17 +81,21 @@ module Make (M : Signatures.MODEL) = struct
     mutable parents : mexpr list;
         (** expressions (anywhere in the memo) using this group as input *)
     mutable lprops : M.logical_props option;
-    winners : winner Goal_tbl.t;
-    in_progress : unit Goal_tbl.t;
-    claimed : unit Goal_tbl.t;
+    winners : winner Id_tbl.t;  (** keyed by interned goal id *)
+    in_progress : unit Id_tbl.t;
+    claimed : unit Id_tbl.t;
         (** goals claimed by a parallel worker (transient, per parallel
             phase): duplicate goals dedupe instead of racing *)
+    lbounds : M.cost Id_tbl.t;
+        (** cached {!Signatures.MODEL.cost_lower_bound} per interned
+            (required, no-excluding) goal id — guided pruning consults
+            the bound once per (group, requirement) *)
     mutable explored : bool;
     mutable exploring : bool;
   }
 
   module Expr_key = struct
-    type t = int * M.op * group list  (* cached op hash, operator, inputs *)
+    type t = int * M.op * group list  (* combined structural hash, operator, inputs *)
 
     let equal ((h1, o1, is1) : t) ((h2, o2, is2) : t) =
       h1 = h2
@@ -79,7 +103,9 @@ module Make (M : Signatures.MODEL) = struct
       && List.for_all2 ( = ) is1 is2
       && M.op_equal o1 o2
 
-    let hash ((h, _, is) : t) = List.fold_left (fun acc g -> (acc * 31) + g) h is
+    let hash ((h, _, _) : t) = h
+
+    let combine op_h inputs = List.fold_left (fun acc g -> (acc * 31) + g) op_h inputs
   end
 
   module Expr_tbl = Hashtbl.Make (Expr_key)
@@ -97,6 +123,12 @@ module Make (M : Signatures.MODEL) = struct
     stripes : Mutex.t array;
         (** winner/claim-table locks for the parallel search phase; the
             sequential engine never takes them *)
+    key_index : int Goal_tbl.t;  (** goal-key hash-consing: key -> id *)
+    mutable keys : Goal_key.t array;  (** id -> goal key *)
+    mutable n_keys : int;
+    key_mutex : Mutex.t;
+        (** guards the intern tables during the parallel phase; the
+            sequential engine interns without it *)
   }
 
   let create stats =
@@ -106,6 +138,10 @@ module Make (M : Signatures.MODEL) = struct
       index = Expr_tbl.create 256;
       stats;
       stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+      key_index = Goal_tbl.create 64;
+      keys = [||];
+      n_keys = 0;
+      key_mutex = Mutex.create ();
     }
 
   let data t g =
@@ -130,9 +166,10 @@ module Make (M : Signatures.MODEL) = struct
         mexprs = [];
         parents = [];
         lprops = None;
-        winners = Goal_tbl.create 4;
-        in_progress = Goal_tbl.create 4;
-        claimed = Goal_tbl.create 1;
+        winners = Id_tbl.create 4;
+        in_progress = Id_tbl.create 4;
+        claimed = Id_tbl.create 1;
+        lbounds = Id_tbl.create 4;
         explored = false;
         exploring = false;
       }
@@ -149,7 +186,44 @@ module Make (M : Signatures.MODEL) = struct
 
   let canonical_inputs t inputs = List.map (find_root t) inputs
 
-  let key_of_mexpr (m : mexpr) : Expr_key.t = (m.op_h, m.op, m.inputs)
+  let key_of_mexpr (m : mexpr) : Expr_key.t = (m.key_h, m.op, m.inputs)
+
+  (* ------------------------------------------------------------------ *)
+  (* Goal-key interning (hash-consing). Every (required, excluding)     *)
+  (* pair the search ever forms is mapped to a small integer id, once;  *)
+  (* all per-group goal tables are then integer-keyed, so repeated      *)
+  (* lookups — and especially the lock-striped claim/publish churn of   *)
+  (* the parallel phase — stop rehashing property vectors.              *)
+  (* ------------------------------------------------------------------ *)
+
+  (** [intern t key] — the id of [key], allocating one on first sight.
+      Sequential-phase entry point: takes no lock. *)
+  let intern t (key : Goal_key.t) : int =
+    match Goal_tbl.find_opt t.key_index key with
+    | Some id ->
+      t.stats.Search_stats.memo_fastpath_hits <-
+        t.stats.Search_stats.memo_fastpath_hits + 1;
+      id
+    | None ->
+      let id = t.n_keys in
+      if id = Array.length t.keys then begin
+        let bigger = Array.make (max 64 (2 * Array.length t.keys)) key in
+        Array.blit t.keys 0 bigger 0 id;
+        t.keys <- bigger
+      end;
+      t.keys.(id) <- key;
+      t.n_keys <- id + 1;
+      Goal_tbl.replace t.key_index key id;
+      id
+
+  (** {!intern} under the intern mutex, for parallel workers. The hit
+      counter is incremented inside the lock, so worker counts are
+      exact. *)
+  let intern_locked t key = Mutex.protect t.key_mutex (fun () -> intern t key)
+
+  (** The key an id stands for. Taken under the intern mutex so a
+      worker always observes a fully published entry. *)
+  let key_of_id t id : Goal_key.t = Mutex.protect t.key_mutex (fun () -> t.keys.(id))
 
   let lprops t g =
     let d = data t (find_root t g) in
@@ -189,13 +263,14 @@ module Make (M : Signatures.MODEL) = struct
       let da = data t a and db = data t b in
       db.parent <- a;
       da.explored <- da.explored && db.explored;
-      (* Combine winner tables, keeping the better entry per goal. *)
-      Goal_tbl.iter
-        (fun key w ->
-          match Goal_tbl.find_opt da.winners key with
-          | None -> Goal_tbl.replace da.winners key w
+      (* Combine winner tables, keeping the better entry per goal. Goal
+         ids are memo-global, so the tables merge id-for-id. *)
+      Id_tbl.iter
+        (fun id w ->
+          match Id_tbl.find_opt da.winners id with
+          | None -> Id_tbl.replace da.winners id w
           | Some existing ->
-            if not (winner_le existing w) then Goal_tbl.replace da.winners key w)
+            if not (winner_le existing w) then Id_tbl.replace da.winners id w)
         db.winners;
       (* Move b's expressions and parent links into a. Cross-group
          same-key duplicates cannot exist (insert would have merged
@@ -213,6 +288,7 @@ module Make (M : Signatures.MODEL) = struct
           if not m.dead then begin
             Expr_tbl.remove t.index (key_of_mexpr m);
             m.inputs <- canonical_inputs t m.inputs;
+            m.key_h <- Expr_key.combine m.op_h m.inputs;
             let key = key_of_mexpr m in
             match Expr_tbl.find_opt t.index key with
             | None -> Expr_tbl.replace t.index key m
@@ -234,7 +310,8 @@ module Make (M : Signatures.MODEL) = struct
       group. Returns the root group holding the expression. *)
   let insert t ?target op inputs =
     let inputs = canonical_inputs t inputs in
-    let key : Expr_key.t = (M.op_hash op, op, inputs) in
+    let op_h = M.op_hash op in
+    let key : Expr_key.t = (Expr_key.combine op_h inputs, op, inputs) in
     match Expr_tbl.find_opt t.index key with
     | Some m -> begin
       let g = find_root t m.owner in
@@ -247,7 +324,7 @@ module Make (M : Signatures.MODEL) = struct
     | None ->
       let g = match target with Some tgt -> find_root t tgt | None -> new_group t in
       let h, _, _ = key in
-      let m = { op; op_h = h; inputs; owner = g; applied = 0; dead = false } in
+      let m = { op; op_h; key_h = h; inputs; owner = g; applied = 0; dead = false } in
       let d = data t g in
       d.mexprs <- m :: d.mexprs;
       d.explored <- false;
@@ -259,11 +336,39 @@ module Make (M : Signatures.MODEL) = struct
          d.lprops <- Some (M.derive op input_props));
       g
 
-  let winner t g key = Goal_tbl.find_opt (data t (find_root t g)).winners key
+  let winner_id t g id = Id_tbl.find_opt (data t (find_root t g)).winners id
 
-  let set_winner t g key plan bound =
+  let set_winner_id t g id plan bound =
     let d = data t (find_root t g) in
-    Goal_tbl.replace d.winners key { w_plan = plan; w_bound = bound }
+    Id_tbl.replace d.winners id { w_plan = plan; w_bound = bound }
+
+  let winner t g key = winner_id t g (intern t key)
+
+  let set_winner t g key plan bound = set_winner_id t g (intern t key) plan bound
+
+  (** Winner-table snapshot with materialized keys, for tests and
+      debugging (the live table is keyed by interned ids). *)
+  let winners_alist t g : (Goal_key.t * winner) list =
+    let d = data t (find_root t g) in
+    Id_tbl.fold (fun id w acc -> (t.keys.(id), w) :: acc) d.winners []
+
+  (** [lower_bound t g required] — the model's certified cost lower
+      bound for delivering [required] from group [g], cached per
+      (group, interned requirement). Sequential-phase entry point. *)
+  let lower_bound t g required =
+    let g = find_root t g in
+    let d = data t g in
+    let id = intern t (required, None) in
+    match Id_tbl.find_opt d.lbounds id with
+    | Some c -> c
+    | None ->
+      let c =
+        match d.lprops with
+        | Some props -> M.cost_lower_bound props required
+        | None -> M.cost_zero
+      in
+      Id_tbl.replace d.lbounds id c;
+      c
 
   (* ------------------------------------------------------------------ *)
   (* Lock-striped access for the parallel search phase. The memo's      *)
@@ -274,66 +379,94 @@ module Make (M : Signatures.MODEL) = struct
 
   let stripe t g = t.stripes.(g land (n_stripes - 1))
 
-  (** [winner_locked t g key] is {!winner} under the group's stripe
-      lock, returning a private copy so the caller never observes a
-      concurrent publish halfway through. *)
-  let winner_locked t g key =
+  (** [winner_locked_id t g id] is {!winner_id} under the group's
+      stripe lock, returning a private copy so the caller never
+      observes a concurrent publish halfway through. *)
+  let winner_locked_id t g id =
     let g = find_root t g in
     Mutex.protect (stripe t g) (fun () ->
-        match Goal_tbl.find_opt (data t g).winners key with
+        match Id_tbl.find_opt (data t g).winners id with
         | None -> None
         | Some w -> Some { w_plan = w.w_plan; w_bound = w.w_bound })
 
-  (** [publish_winner t g key plan bound] records a winner from a
+  let winner_locked t g key = winner_locked_id t g (intern_locked t key)
+
+  (** [publish_winner_id t g id plan bound] records a winner from a
       parallel worker, merging monotonically under the stripe lock:
       whichever of the existing and incoming entries {!winner_le}
       prefers survives, so racing publications commute. Returns [false]
       when an entry already existed (a duplicated computation). *)
-  let publish_winner t g key plan bound =
+  let publish_winner_id t g id plan bound =
     let g = find_root t g in
     let incoming = { w_plan = plan; w_bound = bound } in
     Mutex.protect (stripe t g) (fun () ->
         let d = data t g in
-        match Goal_tbl.find_opt d.winners key with
+        match Id_tbl.find_opt d.winners id with
         | None ->
-          Goal_tbl.replace d.winners key incoming;
+          Id_tbl.replace d.winners id incoming;
           true
         | Some existing ->
-          if not (winner_le existing incoming) then Goal_tbl.replace d.winners key incoming;
+          if not (winner_le existing incoming) then Id_tbl.replace d.winners id incoming;
           false)
 
-  (** [try_claim t g key] claims the goal for the calling worker.
+  let publish_winner t g key plan bound =
+    publish_winner_id t g (intern_locked t key) plan bound
+
+  (** [try_claim_id t g id] claims the goal for the calling worker.
       Returns [false] when another worker already claimed it or a
       winner is already recorded — the once-per-goal dedup of the
       parallel phase. *)
-  let try_claim t g key =
+  let try_claim_id t g id =
     let g = find_root t g in
     Mutex.protect (stripe t g) (fun () ->
         let d = data t g in
-        if Goal_tbl.mem d.claimed key || Goal_tbl.mem d.winners key then false
+        if Id_tbl.mem d.claimed id || Id_tbl.mem d.winners id then false
         else begin
-          Goal_tbl.replace d.claimed key ();
+          Id_tbl.replace d.claimed id ();
           true
         end)
 
-  (** [claim t g key] marks the goal claimed unconditionally (used when
-      a worker starts a subgoal mid-run, so later seed grabs skip it). *)
-  let claim t g key =
-    let g = find_root t g in
-    Mutex.protect (stripe t g) (fun () -> Goal_tbl.replace (data t g).claimed key ())
+  let try_claim t g key = try_claim_id t g (intern_locked t key)
 
-  (** [is_claimed t g key] — whether some run claimed the goal. Workers
-      consult this to wait for the claim holder's published winner
-      instead of duplicating the whole subtree. *)
-  let is_claimed t g key =
+  (** [claim_id t g id] marks the goal claimed unconditionally (used
+      when a worker starts a subgoal mid-run, so later seed grabs skip
+      it). *)
+  let claim_id t g id =
     let g = find_root t g in
-    Mutex.protect (stripe t g) (fun () -> Goal_tbl.mem (data t g).claimed key)
+    Mutex.protect (stripe t g) (fun () -> Id_tbl.replace (data t g).claimed id ())
+
+  (** [is_claimed_id t g id] — whether some run claimed the goal.
+      Workers consult this to wait for the claim holder's published
+      winner instead of duplicating the whole subtree. *)
+  let is_claimed_id t g id =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () -> Id_tbl.mem (data t g).claimed id)
+
+  (** {!lower_bound} for parallel workers: the intern table is guarded
+      by the intern mutex and the per-group cache by the group's
+      stripe. The bound is deterministic per class, so racing
+      recomputations store the same value. *)
+  let lower_bound_locked t g required =
+    let g = find_root t g in
+    let d = data t g in
+    let id = intern_locked t (required, None) in
+    Mutex.protect (stripe t g) (fun () ->
+        match Id_tbl.find_opt d.lbounds id with
+        | Some c -> c
+        | None ->
+          let c =
+            match d.lprops with
+            | Some props -> M.cost_lower_bound props required
+            | None -> M.cost_zero
+          in
+          Id_tbl.replace d.lbounds id c;
+          c)
 
   (** Forget all claims (start of a parallel phase; claims are
       transient and never consulted by the sequential engine). *)
   let reset_claims t =
     for g = 0 to t.n_groups - 1 do
-      Goal_tbl.reset t.groups.(g).claimed
+      Id_tbl.reset t.groups.(g).claimed
     done
 
   (** Fully compress union-find paths so concurrent readers of a frozen
@@ -343,11 +476,11 @@ module Make (M : Signatures.MODEL) = struct
       ignore (find_root t g : group)
     done
 
-  let in_progress t g key = Goal_tbl.mem (data t (find_root t g)).in_progress key
+  let in_progress t g id = Id_tbl.mem (data t (find_root t g)).in_progress id
 
-  let mark_in_progress t g key = Goal_tbl.replace (data t (find_root t g)).in_progress key ()
+  let mark_in_progress t g id = Id_tbl.replace (data t (find_root t g)).in_progress id ()
 
-  let unmark_in_progress t g key = Goal_tbl.remove (data t (find_root t g)).in_progress key
+  let unmark_in_progress t g id = Id_tbl.remove (data t (find_root t g)).in_progress id
 
   let is_explored t g = (data t (find_root t g)).explored
 

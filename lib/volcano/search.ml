@@ -41,6 +41,13 @@ module Make (M : Signatures.MODEL) = struct
 
   type config = {
     pruning : bool;  (** branch-and-bound via cost limits (Figure 2) *)
+    guided : bool;
+        (** guided pruning on top of Figure 2 (no effect unless
+            [pruning]): kill goals whose group cost lower bound
+            ({!Signatures.MODEL.cost_lower_bound}) already exceeds
+            their limit, and tighten each input's limit by the lower
+            bounds of its unresolved siblings. Sound bounds leave every
+            winner bit-identical; only effort shrinks. *)
     max_moves : int option;
         (** pursue only the k most promising moves per goal — the
             paper's heuristic-guidance hook ("In the future, a subset of
@@ -53,7 +60,7 @@ module Make (M : Signatures.MODEL) = struct
   }
 
   let default_config =
-    { pruning = true; max_moves = None; budget = unlimited; trace = None }
+    { pruning = true; guided = true; max_moves = None; budget = unlimited; trace = None }
 
   (* How this searcher view accesses the shared goal state. [Seq] is
      the plain single-domain engine: unlocked winner tables and the
@@ -72,10 +79,11 @@ module Make (M : Signatures.MODEL) = struct
             insufficient computes at this cap, so the refreshed entry
             settles the goal for the rest of the phase instead of being
             re-optimized under every intermediate limit. *)
-    mutable wk_blocked : (Memo.group * Memo.Goal_key.t) option;
+    mutable wk_blocked : (Memo.group * int) option;
         (** set by the stepper when the current run deferred to a goal
-            another worker has claimed: suspend this run *)
-    mutable wk_force : (Memo.group * Memo.Goal_key.t) option;
+            another worker has claimed (group, interned goal id):
+            suspend this run *)
+    mutable wk_force : (Memo.group * int) option;
         (** one goal this worker may compute even though it is claimed
             elsewhere — seeds it just claimed itself, and the bounded
             duplicate-compute fallback that guarantees liveness *)
@@ -106,19 +114,33 @@ module Make (M : Signatures.MODEL) = struct
 
   (* Goal-state accessors, dispatched on the searcher's mode (see
      {!mode}). The sequential paths compile to exactly the pre-parallel
-     engine's direct memo calls. *)
+     engine's direct memo calls. All per-goal tables are addressed by
+     the goal's interned key id (the memo's hash-consing fast path). *)
 
-  let winner_for t g key =
+  let intern_goal t key =
     match t.mode with
-    | Seq -> Memo.winner t.memo g key
-    | Worker _ -> Memo.winner_locked t.memo g key
+    | Seq -> Memo.intern t.memo key
+    | Worker _ -> Memo.intern_locked t.memo key
 
-  let record_winner t g key plan bound =
+  let winner_for t g id =
     match t.mode with
-    | Seq -> Memo.set_winner t.memo g key plan bound
+    | Seq -> Memo.winner_id t.memo g id
+    | Worker _ -> Memo.winner_locked_id t.memo g id
+
+  let record_winner t g id plan bound =
+    match t.mode with
+    | Seq -> Memo.set_winner_id t.memo g id plan bound
     | Worker _ ->
-      if not (Memo.publish_winner t.memo g key plan bound) then
+      if not (Memo.publish_winner_id t.memo g id plan bound) then
         t.stats.Search_stats.par_dup_goals <- t.stats.Search_stats.par_dup_goals + 1
+
+  (* Cached group cost lower bound for a requirement (guided pruning).
+     The bound is deterministic per class, so both paths observe the
+     same value. *)
+  let lower_bound_for t g required =
+    match t.mode with
+    | Seq -> Memo.lower_bound t.memo g required
+    | Worker _ -> Memo.lower_bound_locked t.memo g required
 
   let stats t = t.stats
 
@@ -290,6 +312,7 @@ module Make (M : Signatures.MODEL) = struct
      explicit so the stepper can leave and re-enter it. *)
   type goal_state = {
     gs_group : Memo.group;
+    gs_key_id : int;  (** interned id of (required, excluded) *)
     gs_required : M.phys_props;
     gs_excluded : M.phys_props option;
     mutable gs_limit : M.cost;
@@ -318,7 +341,9 @@ module Make (M : Signatures.MODEL) = struct
     mutable im_acc_cost : M.cost;  (** local cost + completed inputs *)
     mutable im_done : (Memo.group * M.phys_props * M.phys_props option) list;
         (** completed input goals, reversed *)
-    mutable im_pending : (Memo.group * M.phys_props) list;
+    mutable im_pending : (Memo.group * M.phys_props * M.cost) list;
+        (** remaining inputs with their cached cost lower bounds, for
+            guided limit tightening *)
     mutable im_inflight : (Memo.group * M.phys_props * slot) option;
   }
 
@@ -382,9 +407,10 @@ module Make (M : Signatures.MODEL) = struct
     mutable r_tasks : int;  (** tasks executed in this run (not the searcher) *)
     mutable r_millis : float;  (** active wall-clock milliseconds, across resumes *)
     mutable r_status : status option;  (** [Some Complete] once the stack drains *)
-    r_marks : (int, unit Memo.Goal_tbl.t) Hashtbl.t;
-        (** worker-mode in-progress marks, private to this run and keyed
-            by root group; unused (empty) in [Seq] mode *)
+    r_marks : (int, unit Memo.Id_tbl.t) Hashtbl.t;
+        (** worker-mode in-progress marks (interned goal ids), private
+            to this run and keyed by root group; unused (empty) in
+            [Seq] mode *)
   }
 
   let push run task =
@@ -403,28 +429,28 @@ module Make (M : Signatures.MODEL) = struct
     match Hashtbl.find_opt run.r_marks g with
     | Some tbl -> tbl
     | None ->
-      let tbl = Memo.Goal_tbl.create 4 in
+      let tbl = Memo.Id_tbl.create 4 in
       Hashtbl.add run.r_marks g tbl;
       tbl
 
-  let goal_in_progress run g key =
+  let goal_in_progress run g id =
     match run.rt.mode with
-    | Seq -> Memo.in_progress run.rt.memo g key
-    | Worker _ -> Memo.Goal_tbl.mem (run_marks run g) key
+    | Seq -> Memo.in_progress run.rt.memo g id
+    | Worker _ -> Memo.Id_tbl.mem (run_marks run g) id
 
-  let mark_goal_in_progress run g key =
+  let mark_goal_in_progress run g id =
     match run.rt.mode with
-    | Seq -> Memo.mark_in_progress run.rt.memo g key
+    | Seq -> Memo.mark_in_progress run.rt.memo g id
     | Worker _ ->
-      Memo.Goal_tbl.replace (run_marks run g) key ();
+      Memo.Id_tbl.replace (run_marks run g) id ();
       (* Claim the goal so other workers wait for (or skip) it instead
          of recomputing its whole subtree. *)
-      Memo.claim run.rt.memo g key
+      Memo.claim_id run.rt.memo g id
 
-  let unmark_goal_in_progress run g key =
+  let unmark_goal_in_progress run g id =
     match run.rt.mode with
-    | Seq -> Memo.unmark_in_progress run.rt.memo g key
-    | Worker _ -> Memo.Goal_tbl.remove (run_marks run g) key
+    | Seq -> Memo.unmark_in_progress run.rt.memo g id
+    | Worker _ -> Memo.Id_tbl.remove (run_marks run g) id
 
   (* ------------------------------------------------------------------ *)
   (* Task bodies                                                         *)
@@ -433,6 +459,7 @@ module Make (M : Signatures.MODEL) = struct
   let new_goal t ~group ~required ~excluded ~limit slot =
     {
       gs_group = Memo.find_root t.memo group;
+      gs_key_id = intern_goal t (required, excluded);
       gs_required = required;
       gs_excluded = excluded;
       gs_limit = limit;
@@ -464,13 +491,12 @@ module Make (M : Signatures.MODEL) = struct
   let finalize_goal run gs =
     let t = run.rt in
     let g = Memo.find_root t.memo gs.gs_group in
-    let key = (gs.gs_required, gs.gs_excluded) in
-    unmark_goal_in_progress run g key;
+    unmark_goal_in_progress run g gs.gs_key_id;
     (match gs.gs_best with
-     | Some p -> record_winner t g key (Some p) gs.gs_limit
+     | Some p -> record_winner t g gs.gs_key_id (Some p) gs.gs_limit
      | None ->
        t.stats.failures <- t.stats.failures + 1;
-       record_winner t g key None gs.gs_limit);
+       record_winner t g gs.gs_key_id None gs.gs_limit);
     gs.gs_slot.answer <- gs.gs_best
 
   (* Schedule the child goal of a pursued move: push the waiter, then
@@ -504,17 +530,41 @@ module Make (M : Signatures.MODEL) = struct
              M.cost_of alg ~inputs:input_props ~input_props:input_reqs
                ~output:output_props
            in
-           push run
-             (T_optimize_inputs
-                {
-                  im_goal = gs;
-                  im_alg = alg;
-                  im_delivered = delivered;
-                  im_acc_cost = local;
-                  im_done = [];
-                  im_pending = List.combine input_groups input_reqs;
-                  im_inflight = None;
-                })
+           let pending =
+             List.map2
+               (fun gi ri -> (gi, ri, lower_bound_for t gi ri))
+               input_groups input_reqs
+           in
+           (* Guided pruning: project the candidate's cheapest possible
+              total — local cost plus every input's lower bound, folded
+              in pursuit order so the float accumulation mirrors the
+              candidate's own and can never exceed it. A projection
+              over the bound abandons the move exactly where Figure 2
+              would reject the finished candidate. *)
+           let doomed =
+             t.config.pruning && t.config.guided
+             &&
+             let projected =
+               List.fold_left (fun acc (_, _, lb) -> M.cost_add acc lb) local pending
+             in
+             not (cost_le projected gs.gs_bound)
+           in
+           if doomed then begin
+             t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+             next_move run gs
+           end
+           else
+             push run
+               (T_optimize_inputs
+                  {
+                    im_goal = gs;
+                    im_alg = alg;
+                    im_delivered = delivered;
+                    im_acc_cost = local;
+                    im_done = [];
+                    im_pending = pending;
+                    im_inflight = None;
+                  })
          end
        | Enforce { alg; relaxed; excluded = enf_excluded; promise = _ } ->
          let gprops = lookup t gs.gs_group in
@@ -534,6 +584,17 @@ module Make (M : Signatures.MODEL) = struct
            let sub_limit = M.cost_sub gs.gs_bound local in
            if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then begin
              t.stats.pruned <- t.stats.pruned + 1;
+             next_move run gs
+           end
+           else if
+             (* Guided pruning: the enforcer's input is this same class
+                under the relaxed requirement; if its lower bound
+                already exceeds the budget left after the enforcer's
+                own cost, the subgoal can only fail. *)
+             t.config.pruning && t.config.guided
+             && cost_lt sub_limit (lower_bound_for t gs.gs_group relaxed)
+           then begin
+             t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
              next_move run gs
            end
            else begin
@@ -564,16 +625,32 @@ module Make (M : Signatures.MODEL) = struct
   let optimize_group_init run gs =
     let t = run.rt in
     let g = Memo.find_root t.memo gs.gs_group in
-    let key = (gs.gs_required, gs.gs_excluded) in
+    let kid = gs.gs_key_id in
     let start_optimization () =
       t.stats.goal_misses <- t.stats.goal_misses + 1;
-      t.stats.goals <- t.stats.goals + 1;
-      mark_goal_in_progress run g key;
-      gs.gs_phase <- G_collect;
-      push run (T_optimize_group gs);
-      push run (T_explore_group g)
+      (* Guided pruning: when the group's cost lower bound already
+         exceeds the limit, no plan can be accepted — every candidate
+         would fail Figure 2's limit test. Record the failure at the
+         limit, exactly as the fruitless full optimization would have,
+         and answer immediately. *)
+      if
+        t.config.pruning && t.config.guided
+        && cost_lt gs.gs_limit (lower_bound_for t g gs.gs_required)
+      then begin
+        t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+        t.stats.failures <- t.stats.failures + 1;
+        record_winner t g kid None gs.gs_limit;
+        gs.gs_slot.answer <- None
+      end
+      else begin
+        t.stats.goals <- t.stats.goals + 1;
+        mark_goal_in_progress run g kid;
+        gs.gs_phase <- G_collect;
+        push run (T_optimize_group gs);
+        push run (T_explore_group g)
+      end
     in
-    match winner_for t g key with
+    match winner_for t g kid with
     | Some { w_plan = Some p; _ } ->
       t.stats.goal_hits <- t.stats.goal_hits + 1;
       gs.gs_slot.answer <-
@@ -597,27 +674,27 @@ module Make (M : Signatures.MODEL) = struct
         start_optimization ()
       end
     | None ->
-      if goal_in_progress run g key then gs.gs_slot.answer <- None
+      if goal_in_progress run g kid then gs.gs_slot.answer <- None
       else begin
         match t.mode with
         | Seq -> start_optimization ()
         | Worker ctx ->
           let forced =
             match ctx.wk_force with
-            | Some (fg, fkey) -> fg = g && Memo.Goal_key.equal fkey key
+            | Some (fg, fid) -> fg = g && fid = kid
             | None -> false
           in
           if forced then begin
             ctx.wk_force <- None;
             start_optimization ()
           end
-          else if Memo.is_claimed t.memo g key then begin
+          else if Memo.is_claimed_id t.memo g kid then begin
             (* Another run is computing this goal. Suspend: re-push the
                same consultation and signal the worker loop, which parks
                this run and picks up other work until the claim holder
                publishes a winner (or liveness forces a duplicate). *)
             push run (T_optimize_group gs);
-            ctx.wk_blocked <- Some (g, key)
+            ctx.wk_blocked <- Some (g, kid)
           end
           else start_optimization ()
       end
@@ -643,13 +720,30 @@ module Make (M : Signatures.MODEL) = struct
      implementation moves flattened rule-major, enforcers appended,
      promise-sorted, optionally truncated — one deterministic order
      shared by the sequential pursuit and the parallel seeding. *)
+  (* The cost floor of a move: the sum of its subgoals' lower bounds.
+     Secondary sort key after promise — of equally promising moves, the
+     one over the cheapest-bounded subtrees is pursued first, so the
+     branch-and-bound bound tightens sooner. Computed in every
+     configuration (including [guided = false] and [pruning = false]):
+     the move order decides which of two equal-cost plans is found
+     first, and the ablation arms must agree on it for their winners to
+     be bit-identical. *)
+  let move_floor t gs = function
+    | Impl { input_groups; input_reqs; _ } ->
+      List.fold_left2
+        (fun acc gi ri -> M.cost_add acc (lower_bound_for t gi ri))
+        M.cost_zero input_groups input_reqs
+    | Enforce { relaxed; _ } -> lower_bound_for t gs.gs_group relaxed
+
   let assemble_moves t gs =
     let impl = List.concat (Array.to_list gs.gs_impl) in
     let enf = enforcer_moves ~props:(lookup t gs.gs_group) ~required:gs.gs_required in
     let moves =
-      List.stable_sort
-        (fun a b -> compare (move_promise b) (move_promise a))
-        (impl @ enf)
+      List.map (fun mv -> (mv, move_floor t gs mv)) (impl @ enf)
+      |> List.stable_sort (fun (a, fa) (b, fb) ->
+             let c = compare (move_promise b) (move_promise a) in
+             if c <> 0 then c else M.cost_compare fa fb)
+      |> List.map fst
     in
     match t.config.max_moves with
     | None -> moves
@@ -664,7 +758,14 @@ module Make (M : Signatures.MODEL) = struct
      limit the resumed sequential pass can consult the goal under — the
      bound only tightens after seeding — so a winner or failure
      published at the seeded limit answers those consultations exactly
-     as a fresh sequential computation would. *)
+     as a fresh sequential computation would.
+
+     Seeds deliberately use the plain Figure-2 limit (bound minus local
+     cost), NOT the guided sibling-tightened limit: tightened limits
+     shrink as siblings resolve, so a seed published under one could be
+     less generous than a limit the resumed pass later consults under,
+     breaking the one-sided invariant above. Guided pruning still
+     applies inside each worker's pursuit of the seeded goal. *)
   let seeds_of_moves t gs moves =
     let bound = gs.gs_bound in
     List.concat_map
@@ -844,13 +945,47 @@ module Make (M : Signatures.MODEL) = struct
             p_cost = st.im_acc_cost;
           };
         next_move run gs
-      | (gi, ri) :: rest ->
-        if t.config.pruning && not (cost_le st.im_acc_cost gs.gs_bound) then begin
+      | (gi, ri, lb) :: rest ->
+        let over_bound =
+          if not t.config.pruning then false
+          else if not (cost_le st.im_acc_cost gs.gs_bound) then true
+          else if t.config.guided then begin
+            (* Project the cheapest completion: accumulated cost plus
+               the pending inputs' lower bounds, folded in pursuit
+               order (the candidate's own accumulation order, so the
+               projection can never float above the finished cost). *)
+            let projected =
+              List.fold_left
+                (fun acc (_, _, lb) -> M.cost_add acc lb)
+                (M.cost_add st.im_acc_cost lb) rest
+            in
+            not (cost_le projected gs.gs_bound)
+          end
+          else false
+        in
+        if over_bound then begin
           t.stats.pruned <- t.stats.pruned + 1;
           next_move run gs
         end
         else begin
-          let sub_limit = M.cost_sub gs.gs_bound st.im_acc_cost in
+          (* Figure 2's input limit is [bound - accumulated]; guided
+             pruning further subtracts the lower bounds of the inputs
+             still waiting behind this one — their cost is committed,
+             just not yet spent. As siblings resolve, [rest] shrinks
+             and the subtraction is retaken against their true costs,
+             so limits tighten as the move progresses. *)
+          let f2_limit = M.cost_sub gs.gs_bound st.im_acc_cost in
+          let sub_limit =
+            if t.config.pruning && t.config.guided && rest <> [] then begin
+              let tightened =
+                List.fold_left (fun acc (_, _, lb) -> M.cost_sub acc lb) f2_limit rest
+              in
+              if cost_lt tightened f2_limit then
+                t.stats.input_limits_tightened <- t.stats.input_limits_tightened + 1;
+              tightened
+            end
+            else f2_limit
+          in
           let slot = { answer = None } in
           st.im_pending <- rest;
           st.im_inflight <- Some (gi, ri, slot);
@@ -1182,9 +1317,7 @@ module Make (M : Signatures.MODEL) = struct
         match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
       in
       (* Suspended runs, each paired with the goal it last blocked on. *)
-      let blocked : (run * (Memo.group * Memo.Goal_key.t)) Queue.t =
-        Queue.create ()
-      in
+      let blocked : (run * (Memo.group * int)) Queue.t = Queue.create () in
       (* Step a run until it completes (true) or suspends (false). *)
       let step_through run =
         let rec go () =
@@ -1200,7 +1333,8 @@ module Make (M : Signatures.MODEL) = struct
       in
       let park run = Queue.add (run, Option.get ctx.wk_blocked) blocked in
       let launch (g, key, limit) =
-        if Memo.try_claim t.memo g key then begin
+        let kid = Memo.intern_locked t.memo key in
+        if Memo.try_claim_id t.memo g kid then begin
           wstats.Search_stats.par_goals_claimed <-
             wstats.Search_stats.par_goals_claimed + 1;
           let required, excluded = key in
@@ -1208,7 +1342,7 @@ module Make (M : Signatures.MODEL) = struct
           let run = fresh_run wt ~root:g ~required ~limit goal in
           push run (T_optimize_group goal);
           (* We just claimed the goal ourselves: let this run compute it. *)
-          ctx.wk_force <- Some (g, key);
+          ctx.wk_force <- Some (g, kid);
           let completed = step_through run in
           ctx.wk_force <- None;
           if not completed then park run

@@ -63,6 +63,15 @@ type t = {
   mutable par_dup_goals : int;
       (** goals a worker computed only to find another worker had
           already published an (equivalent) winner *)
+  mutable goals_pruned_lb : int;
+      (** goals killed before pursuit because the group's cost lower
+          bound already exceeded the goal's limit (guided pruning) *)
+  mutable input_limits_tightened : int;
+      (** input optimizations whose Figure-2 limit was tightened by
+          subtracting sibling lower bounds (guided pruning) *)
+  mutable memo_fastpath_hits : int;
+      (** goal-key intern lookups answered by the memo's hash-consing
+          table (no structural hashing or key allocation) *)
 }
 
 let create () =
@@ -83,6 +92,9 @@ let create () =
     stack_hwm = 0;
     par_goals_claimed = 0;
     par_dup_goals = 0;
+    goals_pruned_lb = 0;
+    input_limits_tightened = 0;
+    memo_fastpath_hits = 0;
   }
 
 let reset t =
@@ -101,7 +113,10 @@ let reset t =
   Array.fill t.tasks_by_kind 0 (Array.length t.tasks_by_kind) 0;
   t.stack_hwm <- 0;
   t.par_goals_claimed <- 0;
-  t.par_dup_goals <- 0
+  t.par_dup_goals <- 0;
+  t.goals_pruned_lb <- 0;
+  t.input_limits_tightened <- 0;
+  t.memo_fastpath_hits <- 0
 
 let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
 
@@ -121,6 +136,9 @@ let merge ~into t =
   Array.iteri (fun i n -> into.tasks_by_kind.(i) <- into.tasks_by_kind.(i) + n) t.tasks_by_kind;
   into.par_goals_claimed <- into.par_goals_claimed + t.par_goals_claimed;
   into.par_dup_goals <- into.par_dup_goals + t.par_dup_goals;
+  into.goals_pruned_lb <- into.goals_pruned_lb + t.goals_pruned_lb;
+  into.input_limits_tightened <- into.input_limits_tightened + t.input_limits_tightened;
+  into.memo_fastpath_hits <- into.memo_fastpath_hits + t.memo_fastpath_hits;
   if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
 
 let diff ~since t =
@@ -140,6 +158,9 @@ let diff ~since t =
   Array.iteri (fun i n -> d.tasks_by_kind.(i) <- n - since.tasks_by_kind.(i)) t.tasks_by_kind;
   d.par_goals_claimed <- t.par_goals_claimed - since.par_goals_claimed;
   d.par_dup_goals <- t.par_dup_goals - since.par_dup_goals;
+  d.goals_pruned_lb <- t.goals_pruned_lb - since.goals_pruned_lb;
+  d.input_limits_tightened <- t.input_limits_tightened - since.input_limits_tightened;
+  d.memo_fastpath_hits <- t.memo_fastpath_hits - since.memo_fastpath_hits;
   d
 
 let count_task t kind =
@@ -154,10 +175,12 @@ let note_stack_depth t depth = if depth > t.stack_hwm then t.stack_hwm <- depth
 let pp ppf t =
   Format.fprintf ppf
     "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
-     failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d"
+     failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d \
+     lb-pruned=%d limits-tightened=%d fastpath=%d"
     t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
     t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
-    t.par_goals_claimed t.par_dup_goals
+    t.par_goals_claimed t.par_dup_goals t.goals_pruned_lb t.input_limits_tightened
+    t.memo_fastpath_hits
 
 let pp_tasks ppf t =
   Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks

@@ -54,6 +54,23 @@ type t = {
       (** goals a parallel worker computed only to find another worker
           had already published an equivalent winner (bounded in-flight
           duplication; the published result is unaffected) *)
+  mutable goals_pruned_lb : int;
+      (** goals and moves abandoned because a group cost lower bound
+          ({!Signatures.MODEL.cost_lower_bound}) proved the limit
+          unreachable: a goal killed at lookup time (its failure is
+          recorded at the limit exactly as a fruitless full optimization
+          would have recorded it), an implementation move whose local
+          cost plus input lower bounds already exceeds the bound, or an
+          enforcer move whose relaxed subgoal cannot fit the remaining
+          budget *)
+  mutable input_limits_tightened : int;
+      (** input optimizations whose Figure-2 limit
+          ([bound - accumulated cost]) was strictly tightened by
+          subtracting the lower bounds of unresolved sibling inputs *)
+  mutable memo_fastpath_hits : int;
+      (** goal-key intern lookups answered by the memo's hash-consing
+          table: the goal's winner/claim tables are then addressed by a
+          small integer id instead of rehashing property vectors *)
 }
 
 val create : unit -> t

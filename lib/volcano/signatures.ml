@@ -93,6 +93,18 @@ module type MODEL = sig
       properties of the output, given the properties the inputs will be
       optimized to provide. *)
 
+  val cost_lower_bound : logical_props -> phys_props -> cost
+  (** Guided pruning: a lower bound on the cost of {e any} plan that
+      delivers [required] for an expression with these logical
+      properties. The search engine subtracts sibling bounds from
+      branch-and-bound input limits and kills goals whose bound already
+      exceeds their limit, so the bound must be {e true}: if some plan
+      of cost [c] exists, then [cost_lower_bound props required <= c].
+      An unsound bound silently changes winners. [cost_zero] is always
+      sound (and disables guided pruning for the model). The engine
+      caches the result per (group, required-property key) in the memo,
+      so the function may do real work (e.g. catalog lookups). *)
+
   (** {1 Rules} — items (2) and (4) *)
 
   val transforms : (op, logical_props) Rule.transform list

@@ -110,12 +110,16 @@ let test_winner_table () =
 let test_in_progress_marks () =
   let m = new_memo () in
   let gr = Memo.insert m (get "r") [] in
-  let key = (Phys_prop.any, None) in
-  Alcotest.(check bool) "not in progress" false (Memo.in_progress m gr key);
-  Memo.mark_in_progress m gr key;
-  Alcotest.(check bool) "marked" true (Memo.in_progress m gr key);
-  Memo.unmark_in_progress m gr key;
-  Alcotest.(check bool) "unmarked" false (Memo.in_progress m gr key)
+  (* In-progress marks are keyed by interned goal id; interning the
+     same key twice yields the same id (the memo fast path). *)
+  let kid = Memo.intern m (Phys_prop.any, None) in
+  Alcotest.(check int) "interning is idempotent" kid
+    (Memo.intern m (Phys_prop.any, None));
+  Alcotest.(check bool) "not in progress" false (Memo.in_progress m gr kid);
+  Memo.mark_in_progress m gr kid;
+  Alcotest.(check bool) "marked" true (Memo.in_progress m gr kid);
+  Memo.unmark_in_progress m gr kid;
+  Alcotest.(check bool) "unmarked" false (Memo.in_progress m gr kid)
 
 let test_extract_any () =
   let m = new_memo () in

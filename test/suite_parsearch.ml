@@ -142,11 +142,10 @@ let test_winner_tables_consistent () =
   let compared = ref 0 in
   for g = 0 to S.Memo.n_groups seq.S.memo - 1 do
     if S.Memo.find_root seq.S.memo g = g then begin
-      let ws = (S.Memo.data seq.S.memo g).S.Memo.winners in
-      let wp = (S.Memo.data par.S.memo g).S.Memo.winners in
-      S.Memo.Goal_tbl.iter
-        (fun key (s_w : S.Memo.winner) ->
-          match S.Memo.Goal_tbl.find_opt wp key with
+      let ws = S.Memo.winners_alist seq.S.memo g in
+      List.iter
+        (fun (key, (s_w : S.Memo.winner)) ->
+          match S.Memo.winner par.S.memo g key with
           | None -> ()
           | Some p_w ->
             incr compared;

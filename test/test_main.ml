@@ -15,6 +15,7 @@ let () =
       ("access_paths", Suite_access_paths.suite);
       ("parallel", Suite_parallel.suite);
       ("parsearch", Suite_parsearch.suite);
+      ("pruning", Suite_pruning.suite);
       ("dynplan", Suite_dynplan.suite);
       ("session", Suite_session.suite);
       ("plansrv", Suite_plansrv.suite);
