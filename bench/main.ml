@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- parsearch -- intra-query parallel search (BENCH_parsearch.json)
      dune exec bench/main.exe -- pruning -- guided-pruning ablation (BENCH_pruning.json)
      dune exec bench/main.exe -- pruning smoke -- CI mode: small sizes, nonzero exit on failure
+     dune exec bench/main.exe -- obs     -- observability overhead (BENCH_obs.json)
+     dune exec bench/main.exe -- obs smoke -- CI mode: nonzero exit on divergence or parity break
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -981,6 +983,144 @@ let pruning_bench ?(smoke = false) ~full () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* OBS  Observability overhead (BENCH_obs.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Three arms over the same workloads: observability off, span tracing
+   on (one span per engine task plus goal and phase spans), and tracing
+   plus EXPLAIN alternative recording. The winning plan must stay
+   bit-identical across all arms — observability may cost time but must
+   never steer the search — and the traced arm's span counts must equal
+   the engine's task counters (the trace is a complete account of the
+   work). [smoke] shrinks sizes for CI and exits nonzero when a plan
+   diverges, parity breaks, or the tracing overhead explodes. *)
+let obs_bench ?(smoke = false) ~full () =
+  header "OBS  Observability overhead (span tracing + EXPLAIN recording)";
+  let sizes = if smoke then [ 4; 5 ] else if full then [ 5; 6; 7 ] else [ 5; 6 ] in
+  let reps = if smoke then 3 else 7 in
+  Printf.printf
+    "Per workload: median wall clock of %d runs per arm, span counts of the\n\
+     traced arm, and the overhead of tracing relative to the off arm.\n\n"
+    reps;
+  let workloads =
+    List.concat_map
+      (fun n -> [ (Workload.Chain, "chain", n); (Workload.Star, "star", n) ])
+      sizes
+  in
+  let render (result : Relmodel.Optimizer.result) =
+    match result.plan with
+    | None -> "NONE"
+    | Some p ->
+      Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Printf.printf
+    "  workload | arm           | wall (ms) | tasks | spans | overhead\n";
+  Printf.printf
+    "  ---------+---------------+-----------+-------+-------+---------\n";
+  let rows =
+    List.concat_map
+      (fun (shape, name, n) ->
+        let q =
+          Workload.generate
+            (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (1700 * n)) ())
+        in
+        let measure ~arm =
+          (* A fresh tracer per run: span buffers are per-optimization. *)
+          let samples = ref [] and last = ref None and last_tracer = ref None in
+          for _ = 1 to reps do
+            let tracer =
+              if arm = "off" then None else Some (Obs.Trace.create ())
+            in
+            let request =
+              {
+                (Relmodel.Optimizer.request q.catalog) with
+                restore_columns = false;
+                tracer;
+                explain = arm = "trace+explain";
+              }
+            in
+            let dt, r =
+              time_it (fun () ->
+                  Relmodel.Optimizer.optimize request q.logical
+                    ~required:Phys_prop.any)
+            in
+            samples := (dt *. 1000.) :: !samples;
+            last := Some r;
+            last_tracer := tracer
+          done;
+          (median !samples, Option.get !last, !last_tracer)
+        in
+        let base_ms, base_r, _ = measure ~arm:"off" in
+        let baseline = render base_r in
+        List.map
+          (fun arm ->
+            let ms, r, tracer =
+              if arm = "off" then (base_ms, base_r, None) else measure ~arm
+            in
+            if render r <> baseline then
+              fail "%s n=%d: arm %s diverges from the untraced plan" name n arm;
+            let spans, task_spans =
+              match tracer with
+              | None -> (0, 0)
+              | Some tr ->
+                ( Obs.Trace.total tr,
+                  List.length
+                    (List.filter
+                       (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_cat = "task")
+                       (Obs.Trace.spans tr)) )
+            in
+            if tracer <> None && task_spans <> r.stats.Volcano.Search_stats.tasks then
+              fail "%s n=%d: arm %s recorded %d task spans for %d tasks" name n arm
+                task_spans r.stats.Volcano.Search_stats.tasks;
+            let overhead = 100. *. ((ms /. base_ms) -. 1.) in
+            Printf.printf "  %5s n=%d | %-13s | %9.2f | %5d | %5d | %+7.1f%%\n%!"
+              name n arm ms r.stats.Volcano.Search_stats.tasks spans
+              (if arm = "off" then 0. else overhead);
+            (name, n, arm, ms, r.stats.Volcano.Search_stats.tasks, spans, overhead))
+          [ "off"; "trace"; "trace+explain" ])
+      workloads
+  in
+  (* Overhead across workloads: tracing buys a complete account of the
+     search for a bounded slice of the wall clock. The geomean of the
+     per-workload ratios is the headline; the smoke gate is generous
+     (4x) because CI machines are noisy and smoke sizes are tiny. *)
+  let ratios arm =
+    List.filter_map
+      (fun (_, _, a, _, _, _, overhead) ->
+        if a = arm then Some (1. +. (overhead /. 100.)) else None)
+      rows
+  in
+  let trace_x = geomean (ratios "trace") in
+  let explain_x = geomean (ratios "trace+explain") in
+  Printf.printf
+    "\n  geomean slowdown: tracing %.2fx, tracing+explain %.2fx (off = 1.00x)\n"
+    trace_x explain_x;
+  if smoke && trace_x > 4. then
+    fail "tracing slowdown %.2fx exceeds the 4x smoke gate" trace_x;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n  \"trace_slowdown_x\": %.3f,\n  \"trace_explain_slowdown_x\": %.3f,\n\
+    \  \"all_arms_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
+    trace_x explain_x (!failures = [])
+    (String.concat ",\n"
+       (List.map
+          (fun (name, n, arm, ms, tasks, spans, overhead) ->
+            Printf.sprintf
+              "    { \"workload\": \"%s\", \"relations\": %d, \"arm\": \"%s\", \
+               \"wall_ms\": %.3f, \"tasks\": %d, \"spans\": %d, \
+               \"overhead_pct\": %.1f }"
+              name n arm ms tasks spans overhead)
+          rows));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_obs.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1075,5 +1215,6 @@ let () =
   if want "plansrv" then plansrv_bench ~full ();
   if want "parsearch" then parsearch_bench ~full ();
   if want "pruning" then pruning_bench ~smoke ~full ();
+  if want "obs" then obs_bench ~smoke ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -2,8 +2,11 @@
 
    Subcommands:
      optimize  parse a SQL statement, print the logical tree, the
-               optimized plan, search statistics; optionally execute it
-               or compare with the EXODUS-style baseline
+               optimized plan, search statistics; optionally execute it,
+               compare with the EXODUS-style baseline, trace the search
+               (--trace, --trace-out), or export metrics (--metrics-out)
+     explain   optimize and print winner provenance: per-node costs,
+               producing rules, and losing alternatives with reasons
      tables    list the demo catalog
      workload  generate and optimize one paper-style random query
      repl      interactive SQL session with a shared optimizer memo
@@ -51,8 +54,55 @@ let print_tables catalog =
       Format.printf "%-6s %6d rows  %a@." t.name (Array.length t.tuples) Schema.pp t.schema)
     (Catalog.tables catalog)
 
+(* The per-goal effort distribution: how many task spans each goal span
+   directly parents. Long tails here are the goals worth staring at. *)
+let goal_task_histogram reg tracer =
+  let hist =
+    Obs.Metrics.histogram reg ~help:"engine tasks directly under each goal"
+      "volcano_goal_tasks"
+  in
+  let counts = Hashtbl.create 256 in
+  let spans = Obs.Trace.spans tracer in
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      if sp.sp_cat = "goal" then Hashtbl.replace counts sp.sp_id 0)
+    spans;
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      if sp.sp_cat = "task" then
+        match Hashtbl.find_opt counts sp.sp_parent with
+        | Some n -> Hashtbl.replace counts sp.sp_parent (n + 1)
+        | None -> ())
+    spans;
+  Hashtbl.iter (fun _ n -> Obs.Metrics.observe hist (float_of_int n)) counts
+
+(* Post-run stderr summary of a span trace: per-track span counts and
+   the goal outcomes — bounded output no matter how large the search. *)
+let print_trace_summary tracer =
+  let spans = Obs.Trace.spans tracer in
+  List.iter
+    (fun track ->
+      let n =
+        List.length
+          (List.filter (fun (s : Obs.Trace.span) -> s.sp_track = track) spans)
+      in
+      Format.eprintf "trace: track %d (%s): %d spans@." track
+        (if track = 0 then "sequential" else "worker " ^ string_of_int track)
+        n)
+    (Obs.Trace.tracks tracer);
+  let outcomes = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      if s.sp_cat = "goal" then
+        let k = if s.sp_outcome = "" then "(open)" else s.sp_outcome in
+        Hashtbl.replace outcomes k (1 + Option.value (Hashtbl.find_opt outcomes k) ~default:0))
+    spans;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) outcomes []
+  |> List.sort compare
+  |> List.iter (fun (k, n) -> Format.eprintf "trace: goals %s: %d@." k n)
+
 let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_steps
-    timeout_ms trace domains =
+    timeout_ms trace trace_out metrics_out show_explain domains =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -61,6 +111,13 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
   | { logical; required } ->
     Format.printf "Logical query:@.%a@.@." Logical.pp logical;
     Format.printf "Required properties: %s@.@." (Phys_prop.to_string required);
+    (* The goal-task histogram in --metrics-out is computed from spans,
+       so a metrics request implies a (silent) tracer. *)
+    let tracer =
+      if trace || trace_out <> None || metrics_out <> None then
+        Some (Obs.Trace.create ())
+      else None
+    in
     let request =
       {
         (Relmodel.Optimizer.request catalog) with
@@ -70,19 +127,34 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
         max_tasks = max_steps;
         max_millis = timeout_ms;
         domains;
-        trace =
-          (if trace then
-             Some
-               (fun e ->
-                 Format.eprintf "trace: %a@." Volcano.Search_stats.pp_trace_event e)
-           else None);
+        tracer;
+        explain = show_explain;
       }
     in
     let result = Relmodel.Optimizer.optimize request logical ~required in
-    if trace then
-      (* Close the per-task trace with the per-kind counters it drilled
-         into, whether or not a plan was found. *)
-      Format.eprintf "trace summary: %a@." Volcano.Search_stats.pp_tasks result.stats;
+    Option.iter
+      (fun tr ->
+        if trace then begin
+          print_trace_summary tr;
+          Format.eprintf "trace summary: %a@." Volcano.Search_stats.pp_tasks
+            result.stats
+        end;
+        Option.iter
+          (fun path ->
+            Obs.Chrome_trace.write path tr;
+            Format.eprintf "wrote %s (%d spans, %d tracks)@." path
+              (Obs.Trace.total tr)
+              (List.length (Obs.Trace.tracks tr)))
+          trace_out;
+        Option.iter
+          (fun path ->
+            let reg = Obs.Metrics.create () in
+            Volcano.Search_stats.register reg result.stats;
+            goal_task_histogram reg tr;
+            Obs.Json.write_file path (Obs.Metrics.to_json reg);
+            Format.eprintf "wrote %s@." path)
+          metrics_out)
+      tracer;
     if not result.complete then
       Format.printf
         "Budget exhausted after %d tasks; showing the best plan found so far.@.@."
@@ -94,6 +166,9 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
        Format.printf "Volcano plan (estimated cost %s):@.%s@.@."
          (Cost.to_string plan.cost)
          (Relmodel.Optimizer.explain plan);
+       Option.iter
+         (fun e -> Format.printf "Provenance (winners and losing alternatives):@.%s@." e)
+         result.explain;
        Format.printf "Search: %a@." Volcano.Search_stats.pp result.stats;
        Format.printf "Tasks: %a@." Volcano.Search_stats.pp_tasks result.stats;
        Format.printf "Memo: %d groups, %d multi-expressions@.@." result.memo_groups
@@ -120,6 +195,37 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
          if Array.length tuples > 20 then
            Format.printf "... (%d more rows)@." (Array.length tuples - 20)
        end);
+    0
+
+(* EXPLAIN: optimize with alternative recording on and print the winner
+   provenance tree — per-node costs, producing rules, and the losing
+   alternatives of every goal with the reason each lost. *)
+let run_explain sql no_pruning no_guided left_deep domains =
+  let catalog = demo_catalog () in
+  match Sqlfront.parse catalog sql with
+  | exception Sqlfront.Parse_error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    1
+  | { logical; required } ->
+    let request =
+      {
+        (Relmodel.Optimizer.request catalog) with
+        pruning = not no_pruning;
+        guided_pruning = not no_guided;
+        flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
+        domains;
+        explain = true;
+      }
+    in
+    let result = Relmodel.Optimizer.optimize request logical ~required in
+    (match result.plan, result.explain with
+     | None, _ ->
+       Format.printf "No plan found within the cost limit.@.";
+     | Some plan, provenance ->
+       Format.printf "Winning plan (estimated cost %s):@." (Cost.to_string plan.cost);
+       (match provenance with
+        | Some e -> Format.printf "%s" e
+        | None -> Format.printf "%s@." (Relmodel.Optimizer.explain plan)));
     0
 
 let run_tables () =
@@ -162,7 +268,49 @@ let run_repl () =
   in
   loop ()
 
-let run_serve file workers capacity shards parameterize domains =
+(* A deliberately minimal HTTP/1.1 responder for the metrics endpoint:
+   one request per connection, two routes, no keep-alive. *)
+let serve_metrics srv port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 16;
+  Format.printf "metrics: http://127.0.0.1:%d/metrics (Prometheus text), /metrics.json@."
+    port;
+  Format.print_flush ();
+  let reg = Plansrv.registry srv in
+  let rec loop () =
+    let fd, _ = Unix.accept sock in
+    (try
+       let buf = Bytes.create 4096 in
+       let n = Unix.read fd buf 0 4096 in
+       let path =
+         match String.split_on_char ' ' (Bytes.sub_string buf 0 (max n 0)) with
+         | _meth :: p :: _ -> p
+         | _ -> "/"
+       in
+       let status, ctype, body =
+         match path with
+         | "/metrics" ->
+           ("200 OK", "text/plain; version=0.0.4", Obs.Metrics.to_prometheus reg)
+         | "/metrics.json" ->
+           ("200 OK", "application/json", Obs.Json.to_string (Obs.Metrics.to_json reg))
+         | _ -> ("404 Not Found", "text/plain", "not found\n")
+       in
+       let resp =
+         Printf.sprintf
+           "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+            close\r\n\r\n%s"
+           status ctype (String.length body) body
+       in
+       ignore (Unix.write_substring fd resp 0 (String.length resp))
+     with _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    loop ()
+  in
+  loop ()
+
+let run_serve file workers capacity shards parameterize domains metrics_port =
   let catalog = demo_catalog () in
   let srv =
     Plansrv.create
@@ -224,7 +372,12 @@ let run_serve file workers capacity shards parameterize domains =
           line fp)
       parsed;
     Format.printf "@.%a@." Plansrv.pp_metrics (Plansrv.metrics srv);
-    0
+    match metrics_port with
+    | None -> 0
+    | Some port ->
+      (* Keep the service alive and export its registry over HTTP until
+         the process is killed. *)
+      serve_metrics srv port
   end
 
 let run_workload n seed =
@@ -292,7 +445,37 @@ let optimize_cmd =
   let trace =
     Arg.(
       value & flag
-      & info [ "trace" ] ~doc:"Print one line per search-engine task to stderr.")
+      & info [ "trace" ]
+          ~doc:
+            "Collect hierarchical search spans (goals, tasks, phases — including the \
+             parallel phase on per-worker tracks) and print a per-track / per-outcome \
+             summary to stderr.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span trace to $(docv) in the Chrome trace event format \
+             (load in chrome://tracing or Perfetto; one track per domain).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON metrics snapshot to $(docv): every search counter plus the \
+             per-goal task-count histogram.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Record losing alternatives during the search and print the winner \
+             provenance tree (see also the $(b,explain) subcommand).")
   in
   let domains =
     Arg.(
@@ -306,7 +489,33 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
     Term.(
       const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ no_guided
-      $ left_deep $ max_steps $ timeout_ms $ trace $ domains)
+      $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out $ explain
+      $ domains)
+
+let explain_cmd =
+  let no_pruning =
+    Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable branch-and-bound pruning.")
+  in
+  let no_guided =
+    Arg.(
+      value & flag
+      & info [ "no-guided-pruning" ] ~doc:"Disable the guided pruning layer.")
+  in
+  let left_deep =
+    Arg.(value & flag & info [ "left-deep" ] ~doc:"Restrict join plans to left-deep shape.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains for the search.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Optimize a SQL statement and print winner provenance: per-node costs, the \
+          implementation rule that produced each node, and every goal's losing \
+          alternatives with the reason each lost")
+    Term.(const run_explain $ sql_arg $ no_pruning $ no_guided $ left_deep $ domains)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())
@@ -355,10 +564,22 @@ let serve_cmd =
             "OCaml domains per cache-miss optimization (intra-query parallel search), \
              on top of the $(b,--workers) across-query parallelism.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "After serving the batch, keep running and export the service's metrics \
+             registry on 127.0.0.1:$(docv): $(b,/metrics) (Prometheus text) and \
+             $(b,/metrics.json).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
-    Term.(const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains)
+    Term.(
+      const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains
+      $ metrics_port)
 
 let workload_cmd =
   let n =
@@ -378,4 +599,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ optimize_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))
+          [ optimize_cmd; explain_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))

@@ -56,6 +56,8 @@ type counters = {
   warm_count : int Atomic.t;
   warm_ns_sum : int Atomic.t;
   warm_ns_max : int Atomic.t;
+  warm_hist : Obs.Metrics.histogram;  (** hit latency, milliseconds *)
+  cold_hist : Obs.Metrics.histogram;  (** miss latency, milliseconds *)
   search : Volcano.Search_stats.t;
 }
 
@@ -68,33 +70,63 @@ type t = {
   shard_tbl : shard array;
   stats_lock : Mutex.t;
   counters : counters;
+  registry : Obs.Metrics.registry;
 }
 
 let create cfg =
   let shard_capacity = max 1 ((cfg.capacity + cfg.shards - 1) / cfg.shards) in
-  {
-    cfg;
-    shard_tbl =
-      Array.init cfg.shards (fun _ ->
-          { lock = Mutex.create (); cache = Lru.create ~capacity:shard_capacity });
-    stats_lock = Mutex.create ();
-    counters =
-      {
-        requests = Atomic.make 0;
-        hits = Atomic.make 0;
-        misses = Atomic.make 0;
-        invalidations = Atomic.make 0;
-        evictions = Atomic.make 0;
-        param_served = Atomic.make 0;
-        cold_count = Atomic.make 0;
-        cold_ns_sum = Atomic.make 0;
-        cold_ns_max = Atomic.make 0;
-        warm_count = Atomic.make 0;
-        warm_ns_sum = Atomic.make 0;
-        warm_ns_max = Atomic.make 0;
-        search = Volcano.Search_stats.create ();
-      };
-  }
+  let registry = Obs.Metrics.create () in
+  let shard_tbl =
+    Array.init cfg.shards (fun _ ->
+        { lock = Mutex.create (); cache = Lru.create ~capacity:shard_capacity })
+  in
+  let counters =
+    {
+      requests = Atomic.make 0;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      invalidations = Atomic.make 0;
+      evictions = Atomic.make 0;
+      param_served = Atomic.make 0;
+      cold_count = Atomic.make 0;
+      cold_ns_sum = Atomic.make 0;
+      cold_ns_max = Atomic.make 0;
+      warm_count = Atomic.make 0;
+      warm_ns_sum = Atomic.make 0;
+      warm_ns_max = Atomic.make 0;
+      warm_hist =
+        Obs.Metrics.histogram registry ~help:"cache-hit serve latency (ms)"
+          "plansrv_warm_latency_ms";
+      cold_hist =
+        Obs.Metrics.histogram registry ~help:"cache-miss serve latency (ms)"
+          "plansrv_cold_latency_ms";
+      search = Volcano.Search_stats.create ();
+    }
+  in
+  (* Gauges read the service's own lock-free counters: the registry is
+     a view, not a second set of books. *)
+  let atomic name help a =
+    Obs.Metrics.gauge registry ~help ("plansrv_" ^ name) (fun () ->
+        float_of_int (Atomic.get a))
+  in
+  atomic "requests" "requests served" counters.requests;
+  atomic "hits" "requests answered from the cache" counters.hits;
+  atomic "misses" "requests that ran an optimization" counters.misses;
+  atomic "invalidations" "stale entries dropped" counters.invalidations;
+  atomic "evictions" "capacity evictions" counters.evictions;
+  atomic "param_served" "requests answered via parameterized entries"
+    counters.param_served;
+  Obs.Metrics.gauge registry ~help:"cached entries across shards" "plansrv_entries"
+    (fun () ->
+      float_of_int
+        (Array.fold_left
+           (fun acc shard ->
+             acc + Mutex.protect shard.lock (fun () -> Lru.length shard.cache))
+           0 shard_tbl));
+  Volcano.Search_stats.register registry counters.search;
+  { cfg; shard_tbl; stats_lock = Mutex.create (); counters; registry }
+
+let registry t = t.registry
 
 let shard_of t hash = t.shard_tbl.(hash mod Array.length t.shard_tbl)
 
@@ -226,18 +258,22 @@ let record_latency t outcome parameterized dt_ms =
     ignore (Atomic.fetch_and_add c.hits 1);
     ignore (Atomic.fetch_and_add c.warm_count 1);
     ignore (Atomic.fetch_and_add c.warm_ns_sum dt_ns);
-    atomic_max c.warm_ns_max dt_ns
+    atomic_max c.warm_ns_max dt_ns;
+    Obs.Metrics.observe c.warm_hist dt_ms
   | Miss | Invalidated ->
     ignore (Atomic.fetch_and_add c.misses 1);
     if outcome = Invalidated then ignore (Atomic.fetch_and_add c.invalidations 1);
     ignore (Atomic.fetch_and_add c.cold_count 1);
     ignore (Atomic.fetch_and_add c.cold_ns_sum dt_ns);
-    atomic_max c.cold_ns_max dt_ns
+    atomic_max c.cold_ns_max dt_ns;
+    Obs.Metrics.observe c.cold_hist dt_ms
 
 let count_eviction t = ignore (Atomic.fetch_and_add t.counters.evictions 1)
 
 let serve_one t w query ~required =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic, not wall-clock: an NTP step mid-request must not mint a
+     negative (or wildly wrong) latency sample. *)
+  let t0 = Obs.Clock.now_ns () in
   let fp, canonical =
     Fingerprint.of_query ~parameterize:t.cfg.parameterize query ~required
   in
@@ -262,7 +298,7 @@ let serve_one t w query ~required =
       | Some p -> plan_of_payload p fp
       | None -> (None, false)
     in
-    let dt_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    let dt_ms = Obs.Clock.span_ms ~since:t0 (Obs.Clock.now_ns ()) in
     record_latency t outcome parameterized dt_ms;
     { plan; outcome; parameterized; latency_ms = dt_ms; fingerprint = fp.Fingerprint.key }
   in
@@ -328,6 +364,9 @@ type latency = {
   count : int;
   mean_ms : float;
   max_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
 }
 
 type metrics = {
@@ -350,13 +389,16 @@ let metrics t =
       0 t.shard_tbl
   in
   let c = t.counters in
-  let lat count sum mx =
+  let lat count sum mx hist =
     let count = Atomic.get count in
     {
       count;
       mean_ms =
         (if count = 0 then 0. else float_of_int (Atomic.get sum) /. 1e6 /. float_of_int count);
       max_ms = float_of_int (Atomic.get mx) /. 1e6;
+      p50_ms = Obs.Metrics.quantile hist 0.5;
+      p95_ms = Obs.Metrics.quantile hist 0.95;
+      p99_ms = Obs.Metrics.quantile hist 0.99;
     }
   in
   let search =
@@ -370,8 +412,8 @@ let metrics t =
     evictions = Atomic.get c.evictions;
     param_served = Atomic.get c.param_served;
     entries;
-    cold = lat c.cold_count c.cold_ns_sum c.cold_ns_max;
-    warm = lat c.warm_count c.warm_ns_sum c.warm_ns_max;
+    cold = lat c.cold_count c.cold_ns_sum c.cold_ns_max c.cold_hist;
+    warm = lat c.warm_count c.warm_ns_sum c.warm_ns_max c.warm_hist;
     search;
   }
 
@@ -379,11 +421,12 @@ let pp_metrics ppf m =
   Format.fprintf ppf
     "@[<v>requests=%d hits=%d misses=%d (hit rate %.1f%%)@,\
      invalidations=%d evictions=%d parameterized=%d entries=%d@,\
-     warm: n=%d mean=%.3fms max=%.3fms@,\
-     cold: n=%d mean=%.3fms max=%.3fms@,\
+     warm: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
+     cold: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
      search effort (misses): %a@]"
     m.requests m.hits m.misses
     (if m.requests = 0 then 0. else 100. *. float_of_int m.hits /. float_of_int m.requests)
     m.invalidations m.evictions m.param_served m.entries m.warm.count m.warm.mean_ms
-    m.warm.max_ms m.cold.count m.cold.mean_ms m.cold.max_ms Volcano.Search_stats.pp
-    m.search
+    m.warm.p50_ms m.warm.p95_ms m.warm.p99_ms m.warm.max_ms m.cold.count
+    m.cold.mean_ms m.cold.p50_ms m.cold.p95_ms m.cold.p99_ms m.cold.max_ms
+    Volcano.Search_stats.pp m.search

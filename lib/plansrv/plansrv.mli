@@ -106,6 +106,11 @@ type latency = {
   count : int;
   mean_ms : float;
   max_ms : float;
+  p50_ms : float;  (** median, from the service's log-bucketed histogram *)
+  p95_ms : float;
+  p99_ms : float;
+      (** quantiles are bucket upper bounds (capped at the observed
+          maximum), so they over-estimate by at most one power of two *)
 }
 
 type metrics = {
@@ -130,5 +135,13 @@ val metrics : t -> metrics
     only at quiescence. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit
-(** Multi-line operator-facing rendering: hit rate, latency profiles,
-    and the merged search effort. *)
+(** Multi-line operator-facing rendering: hit rate, latency profiles
+    (mean, quantiles, max), and the merged search effort. *)
+
+val registry : t -> Obs.Metrics.registry
+(** The service's metrics registry: every counter above as a gauge
+    ([plansrv_*]), warm/cold latency histograms
+    ([plansrv_warm_latency_ms], [plansrv_cold_latency_ms]), and the
+    merged search-effort counters ([volcano_search_*]). Export with
+    {!Obs.Metrics.to_prometheus} or {!Obs.Metrics.to_json} — this is
+    what [volcano-cli serve --metrics-port] serves. *)

@@ -12,6 +12,7 @@ type result = {
   stats : Volcano.Search_stats.t;
   memo_groups : int;
   memo_mexprs : int;
+  explain : string option;
 }
 
 type request = {
@@ -24,7 +25,8 @@ type request = {
   limit : Relalg.Cost.t option;
   max_tasks : int option;
   max_millis : float option;
-  trace : (Volcano.Search_stats.trace_event -> unit) option;
+  tracer : Obs.Trace.t option;
+  explain : bool;
   restore_columns : bool;
   domains : int;
 }
@@ -40,7 +42,8 @@ let request catalog =
     limit = None;
     max_tasks = None;
     max_millis = None;
-    trace = None;
+    tracer = None;
+    explain = false;
     restore_columns = true;
     domains = 1;
   }
@@ -76,7 +79,8 @@ let make_searcher req =
       guided = req.guided_pruning;
       max_moves = req.max_moves;
       budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
-      trace = req.trace;
+      tracer = req.tracer;
+      explain = req.explain;
     }
   in
   let opt = S.create ~config () in
@@ -92,6 +96,15 @@ let make_searcher req =
       if req.restore_columns then restore_column_order req query (convert p)
       else convert p
     in
+    let explain =
+      (* Winner provenance, straight from the memo (so it reflects the
+         plan the search chose, before any column-restoring projection). *)
+      if req.explain && outcome.plan <> None then
+        Option.map
+          (fun x -> Format.asprintf "%a" S.pp_explain x)
+          (S.explain opt outcome.root_group ~required)
+      else None
+    in
     {
       plan = Option.map finish outcome.plan;
       complete = (outcome.status = S.Complete);
@@ -99,6 +112,7 @@ let make_searcher req =
       stats = outcome.search_stats;
       memo_groups = outcome.memo_groups;
       memo_mexprs = outcome.memo_mexprs;
+      explain;
     }
   in
   run

@@ -23,6 +23,10 @@ type result = {
   stats : Volcano.Search_stats.t;
   memo_groups : int;
   memo_mexprs : int;
+  explain : string option;
+      (** winner provenance rendered from the memo — per-node costs,
+          producing rules, and losing alternatives with reasons — when
+          the request's [explain] flag was on and a plan was found *)
 }
 
 type request = {
@@ -39,8 +43,13 @@ type request = {
   limit : Relalg.Cost.t option;  (** cost limit (Figure 2's Limit); [None] = infinity *)
   max_tasks : int option;  (** deterministic step budget; [None] = unlimited *)
   max_millis : float option;  (** wall-clock budget; [None] = unlimited *)
-  trace : (Volcano.Search_stats.trace_event -> unit) option;
-      (** per-task trace hook on the search engine's stepper loop *)
+  tracer : Obs.Trace.t option;
+      (** hierarchical span collector for the search (goal, task, and
+          phase spans, covering the parallel phase on per-worker
+          tracks); export with {!Obs.Chrome_trace} *)
+  explain : bool;
+      (** record losing alternatives during the search and render winner
+          provenance into the result's [explain] field *)
   restore_columns : bool;
       (** append a projection restoring the logical column order when
           join commutativity reordered the output (default [true]; plan

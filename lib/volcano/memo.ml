@@ -40,11 +40,43 @@ module Make (M : Signatures.MODEL) = struct
         (** (group, required, excluding vector) per input *)
     p_props : M.phys_props;  (** properties the plan promises to deliver *)
     p_cost : M.cost;  (** total cost including inputs *)
+    p_rule : string;
+        (** provenance: the implementation rule that produced this
+            node's algorithm choice, or ["enforcer"] for enforcer
+            moves — surfaced by EXPLAIN *)
   }
 
   type winner = {
     mutable w_plan : plan option;  (** [None] = failure *)
     mutable w_bound : M.cost;  (** cost limit the optimization ran under *)
+  }
+
+  (** Why a pursued alternative did not become (or stay) the winner —
+      EXPLAIN's losing-reason annotations, recorded per goal as the
+      search abandons or completes each move. *)
+  type alt_reason =
+    | Alt_completed
+        (** fully costed candidate; the eventual winner is among these,
+            the rest lost on cost (or arrived over the limit) *)
+    | Alt_over_bound
+        (** abandoned mid-pursuit: accumulated cost exceeded the
+            branch-and-bound bound (Figure 2's limit test) *)
+    | Alt_pruned_lb
+        (** guided pruning: the lower-bound projection already exceeded
+            the bound, so the move was never pursued *)
+    | Alt_input_failed
+        (** an input goal concluded with no plan within its limit — a
+            failure-table hit or a fresh bounded failure *)
+
+  (** One considered-and-rejected (or considered-and-won) alternative
+      for a goal. *)
+  type alt = {
+    a_alg : M.alg;
+    a_rule : string;  (** producing rule, or ["enforcer"] *)
+    a_cost : M.cost option;
+        (** full cost for {!Alt_completed}, the partial accumulated
+            cost for {!Alt_over_bound}, [None] otherwise *)
+    a_reason : alt_reason;
   }
 
   module Goal_key = struct
@@ -90,6 +122,9 @@ module Make (M : Signatures.MODEL) = struct
         (** cached {!Signatures.MODEL.cost_lower_bound} per interned
             (required, no-excluding) goal id — guided pruning consults
             the bound once per (group, requirement) *)
+    alts : alt list Id_tbl.t;
+        (** per-goal EXPLAIN provenance (newest first); only populated
+            when the search runs with [explain] recording on *)
     mutable explored : bool;
     mutable exploring : bool;
   }
@@ -170,6 +205,7 @@ module Make (M : Signatures.MODEL) = struct
         in_progress = Id_tbl.create 4;
         claimed = Id_tbl.create 1;
         lbounds = Id_tbl.create 4;
+        alts = Id_tbl.create 1;
         explored = false;
         exploring = false;
       }
@@ -272,6 +308,14 @@ module Make (M : Signatures.MODEL) = struct
           | Some existing ->
             if not (winner_le existing w) then Id_tbl.replace da.winners id w)
         db.winners;
+      (* Combine EXPLAIN provenance id-for-id: both classes' recorded
+         alternatives describe the same (now unified) goal. *)
+      Id_tbl.iter
+        (fun id l ->
+          match Id_tbl.find_opt da.alts id with
+          | None -> Id_tbl.replace da.alts id l
+          | Some existing -> Id_tbl.replace da.alts id (l @ existing))
+        db.alts;
       (* Move b's expressions and parent links into a. Cross-group
          same-key duplicates cannot exist (insert would have merged
          instead), so b's own expressions keep their index entries. *)
@@ -345,6 +389,19 @@ module Make (M : Signatures.MODEL) = struct
   let winner t g key = winner_id t g (intern t key)
 
   let set_winner t g key plan bound = set_winner_id t g (intern t key) plan bound
+
+  (** [record_alt t g id alt] — append EXPLAIN provenance for the goal
+      [id] of group [g]. Sequential-phase entry point. *)
+  let record_alt t g id alt =
+    let d = data t (find_root t g) in
+    let existing = Option.value (Id_tbl.find_opt d.alts id) ~default:[] in
+    Id_tbl.replace d.alts id (alt :: existing)
+
+  (** [alts t g id] — recorded alternatives for a goal, oldest first
+      (the order the search pursued them in). *)
+  let alts t g id =
+    let d = data t (find_root t g) in
+    List.rev (Option.value (Id_tbl.find_opt d.alts id) ~default:[])
 
   (** Winner-table snapshot with materialized keys, for tests and
       debugging (the live table is keyed by interned ids). *)
@@ -461,6 +518,12 @@ module Make (M : Signatures.MODEL) = struct
           in
           Id_tbl.replace d.lbounds id c;
           c)
+
+  (** {!record_alt} under the group's stripe lock, for parallel
+      workers. *)
+  let record_alt_locked t g id alt =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () -> record_alt t g id alt)
 
   (** Forget all claims (start of a parallel phase; claims are
       transient and never consulted by the sequential engine). *)

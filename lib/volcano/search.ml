@@ -7,9 +7,9 @@
     loop ({!step}). This is the reification that the Cascades lineage
     applied to the same algorithm, and it buys three things recursion
     cannot give: deterministic step budgets and wall-clock timeouts that
-    abort cleanly mid-goal (anytime optimization), a per-task trace
-    hook, and resumable searches (a paused run continues under a higher
-    budget without redoing work).
+    abort cleanly mid-goal (anytime optimization), hierarchical span
+    tracing of the task tree ({!Obs.Trace}), and resumable searches (a
+    paused run continues under a higher budget without redoing work).
 
     The paper's semantics are preserved exactly: memoized winners {e
     and} failures per (group, property vector, limit), in-progress
@@ -55,12 +55,31 @@ module Make (M : Signatures.MODEL) = struct
     budget : budget;
         (** default budget for {!optimize}; {!unlimited} reproduces the
             exhaustive search of the paper *)
-    trace : (Search_stats.trace_event -> unit) option;
-        (** called once per task popped from the work stack *)
+    tracer : Obs.Trace.t option;
+        (** hierarchical span collector: one [goal] span per (group,
+            property, limit) optimization goal with its outcome, one
+            [task] span per executed engine task nested under its goal,
+            and [phase] spans around the parallel phases. Workers buffer
+            spans on their own tracks and the collector merges them
+            post-run, so traces cover the parallel phase. [None] (the
+            default) records nothing and costs one pattern match per
+            task. *)
+    explain : bool;
+        (** record losing alternatives (and their losing reasons) in
+            the memo as the search abandons or completes each move, for
+            {!explain}. Recording never changes pursuit order, pruning,
+            or winners — only what the memo remembers about them. *)
   }
 
   let default_config =
-    { pruning = true; guided = true; max_moves = None; budget = unlimited; trace = None }
+    {
+      pruning = true;
+      guided = true;
+      max_moves = None;
+      budget = unlimited;
+      tracer = None;
+      explain = false;
+    }
 
   (* How this searcher view accesses the shared goal state. [Seq] is
      the plain single-domain engine: unlocked winner tables and the
@@ -98,6 +117,9 @@ module Make (M : Signatures.MODEL) = struct
     config : config;
     stats : Search_stats.t;
     mode : mode;
+    tr_buf : Obs.Trace.buf option;
+        (** this searcher view's span buffer: track 0 for the
+            sequential engine, track [n] for the [n]-th worker *)
   }
 
   (** A fully extracted plan: the optimizer's output. *)
@@ -110,7 +132,13 @@ module Make (M : Signatures.MODEL) = struct
 
   let create ?(config = default_config) () =
     let stats = Search_stats.create () in
-    { memo = Memo.create stats; config; stats; mode = Seq }
+    {
+      memo = Memo.create stats;
+      config;
+      stats;
+      mode = Seq;
+      tr_buf = Option.map (fun tr -> Obs.Trace.buf tr ~track:0) config.tracer;
+    }
 
   (* Goal-state accessors, dispatched on the searcher's mode (see
      {!mode}). The sequential paths compile to exactly the pre-parallel
@@ -247,6 +275,7 @@ module Make (M : Signatures.MODEL) = struct
         input_groups : Memo.group list;
         input_reqs : M.phys_props list;  (** one alternative vector *)
         promise : int;
+        rule : string;  (** producing implementation rule, for provenance *)
       }
     | Enforce of {
         alg : M.alg;
@@ -277,6 +306,7 @@ module Make (M : Signatures.MODEL) = struct
                           input_groups = List.map (Memo.find_root t.memo) c.c_inputs;
                           input_reqs = vector;
                           promise = rule.i_promise;
+                          rule = rule.i_name;
                         })
                     c.c_alternatives))
 
@@ -325,6 +355,8 @@ module Make (M : Signatures.MODEL) = struct
     mutable gs_moves : move list;  (** pending moves, promise-ordered *)
     mutable gs_phase : goal_phase;
     gs_slot : slot;
+    mutable gs_span : Obs.Trace.span option;
+        (** open tracing span for this goal, when tracing is on *)
   }
 
   and goal_phase =
@@ -337,6 +369,7 @@ module Make (M : Signatures.MODEL) = struct
   and impl_state = {
     im_goal : goal_state;
     im_alg : M.alg;
+    im_rule : string;  (** producing implementation rule, for provenance *)
     im_delivered : M.phys_props;
     mutable im_acc_cost : M.cost;  (** local cost + completed inputs *)
     mutable im_done : (Memo.group * M.phys_props * M.phys_props option) list;
@@ -411,6 +444,12 @@ module Make (M : Signatures.MODEL) = struct
         (** worker-mode in-progress marks (interned goal ids), private
             to this run and keyed by root group; unused (empty) in
             [Seq] mode *)
+    mutable r_open_goals : Obs.Trace.span list;
+        (** open goal spans, innermost first — the parent chain for the
+            next task span; empty when tracing is off *)
+    mutable r_closing : (Obs.Trace.span * string) list;
+        (** goal spans concluded mid-task, with their outcomes; closed
+            after the current task's span so the bracketing is proper *)
   }
 
   let push run task =
@@ -453,6 +492,70 @@ module Make (M : Signatures.MODEL) = struct
     | Worker _ -> Memo.Id_tbl.remove (run_marks run g) id
 
   (* ------------------------------------------------------------------ *)
+  (* Tracing spans (all no-ops unless [config.tracer] is set)            *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Open the goal's span, nested under the innermost open goal of this
+     run — the span tree mirrors Figure 2's recursion. *)
+  let goal_open run buf gs =
+    let parent = match run.r_open_goals with sp :: _ -> Some sp | [] -> None in
+    let sp =
+      Obs.Trace.open_span buf ?parent ~cat:"goal"
+        ~group:(Memo.find_root run.rt.memo gs.gs_group)
+        ~args:
+          [
+            ("required", M.pp_to_string gs.gs_required);
+            ("limit", M.cost_to_string gs.gs_limit);
+          ]
+        "goal"
+    in
+    gs.gs_span <- Some sp;
+    run.r_open_goals <- sp :: run.r_open_goals
+
+  (* Conclude a goal's span. The actual close is deferred to the end of
+     the current task ([r_closing]), so the task span — the last work
+     done inside the goal — closes before (inside) its goal span. *)
+  let goal_conclude run gs outcome =
+    match gs.gs_span with
+    | None -> ()
+    | Some sp ->
+      gs.gs_span <- None;
+      (match run.r_open_goals with
+       | top :: rest when top == sp -> run.r_open_goals <- rest
+       | l -> run.r_open_goals <- List.filter (fun s -> s != sp) l);
+      run.r_closing <- (sp, outcome) :: run.r_closing
+
+  let flush_goal_closes run =
+    match run.r_closing with
+    | [] -> ()
+    | closing ->
+      run.r_closing <- [];
+      List.iter
+        (fun (sp, outcome) -> Obs.Trace.close ~outcome sp)
+        (List.rev closing)
+
+  (* Close every span a run still holds open — it is being thrown away
+     (a worker abandoning a seed, a parked run cut by the deadline). *)
+  let abandon_run_spans run =
+    flush_goal_closes run;
+    List.iter (fun sp -> Obs.Trace.close ~outcome:"abandoned" sp) run.r_open_goals;
+    run.r_open_goals <- []
+
+  (* The parent span of a task: its goal's span if the task carries a
+     goal, the innermost open goal of the run otherwise. *)
+  let task_parent run task =
+    let own =
+      match task with
+      | T_optimize_group gs | T_optimize_mexpr (gs, _) -> gs.gs_span
+      | T_optimize_inputs st -> st.im_goal.gs_span
+      | T_apply_enforcer st -> st.en_goal.gs_span
+      | T_explore_group _ | T_explore_round _ | T_apply_transform _ -> None
+    in
+    match own with
+    | Some _ -> own
+    | None -> ( match run.r_open_goals with sp :: _ -> Some sp | [] -> None)
+
+  (* ------------------------------------------------------------------ *)
   (* Task bodies                                                         *)
   (* ------------------------------------------------------------------ *)
 
@@ -469,11 +572,26 @@ module Make (M : Signatures.MODEL) = struct
       gs_moves = [];
       gs_phase = G_init;
       gs_slot = slot;
+      gs_span = None;
     }
+
+  (* EXPLAIN provenance: remember why a move of [gs] lost (or that it
+     completed). Gated on [config.explain]; recording never feeds back
+     into the search. *)
+  let note_alt t gs ~alg ~rule ~cost ~reason =
+    if t.config.explain then begin
+      let g = Memo.find_root t.memo gs.gs_group in
+      let alt = { Memo.a_alg = alg; a_rule = rule; a_cost = cost; a_reason = reason } in
+      match t.mode with
+      | Seq -> Memo.record_alt t.memo g gs.gs_key_id alt
+      | Worker _ -> Memo.record_alt_locked t.memo g gs.gs_key_id alt
+    end
 
   (* Record a completed candidate plan against the goal, tightening the
      branch-and-bound bound (Figure 2's Limit update). *)
   let consider t gs (candidate : Memo.plan) =
+    note_alt t gs ~alg:candidate.p_alg ~rule:candidate.p_rule
+      ~cost:(Some candidate.p_cost) ~reason:Memo.Alt_completed;
     let better =
       match gs.gs_best with
       | None -> (not t.config.pruning) || cost_le candidate.p_cost gs.gs_limit
@@ -497,6 +615,7 @@ module Make (M : Signatures.MODEL) = struct
      | None ->
        t.stats.failures <- t.stats.failures + 1;
        record_winner t g gs.gs_key_id None gs.gs_limit);
+    goal_conclude run gs (match gs.gs_best with Some _ -> "won" | None -> "failed");
     gs.gs_slot.answer <- gs.gs_best
 
   (* Schedule the child goal of a pursued move: push the waiter, then
@@ -517,7 +636,7 @@ module Make (M : Signatures.MODEL) = struct
     | mv :: rest ->
       gs.gs_moves <- rest;
       (match mv with
-       | Impl { alg; input_groups; input_reqs; promise = _ } ->
+       | Impl { alg; input_groups; input_reqs; promise = _; rule } ->
          let input_props = List.map (lookup t) input_groups in
          let output_props = lookup t gs.gs_group in
          let delivered = M.deliver alg input_reqs in
@@ -551,6 +670,7 @@ module Make (M : Signatures.MODEL) = struct
            in
            if doomed then begin
              t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+             note_alt t gs ~alg ~rule ~cost:None ~reason:Memo.Alt_pruned_lb;
              next_move run gs
            end
            else
@@ -559,6 +679,7 @@ module Make (M : Signatures.MODEL) = struct
                   {
                     im_goal = gs;
                     im_alg = alg;
+                    im_rule = rule;
                     im_delivered = delivered;
                     im_acc_cost = local;
                     im_done = [];
@@ -584,6 +705,8 @@ module Make (M : Signatures.MODEL) = struct
            let sub_limit = M.cost_sub gs.gs_bound local in
            if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then begin
              t.stats.pruned <- t.stats.pruned + 1;
+             note_alt t gs ~alg ~rule:"enforcer" ~cost:(Some local)
+               ~reason:Memo.Alt_over_bound;
              next_move run gs
            end
            else if
@@ -595,6 +718,7 @@ module Make (M : Signatures.MODEL) = struct
              && cost_lt sub_limit (lower_bound_for t gs.gs_group relaxed)
            then begin
              t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+             note_alt t gs ~alg ~rule:"enforcer" ~cost:None ~reason:Memo.Alt_pruned_lb;
              next_move run gs
            end
            else begin
@@ -640,6 +764,7 @@ module Make (M : Signatures.MODEL) = struct
         t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
         t.stats.failures <- t.stats.failures + 1;
         record_winner t g kid None gs.gs_limit;
+        goal_conclude run gs "pruned-lb";
         gs.gs_slot.answer <- None
       end
       else begin
@@ -653,11 +778,13 @@ module Make (M : Signatures.MODEL) = struct
     match winner_for t g kid with
     | Some { w_plan = Some p; _ } ->
       t.stats.goal_hits <- t.stats.goal_hits + 1;
+      goal_conclude run gs "hit";
       gs.gs_slot.answer <-
         (if (not t.config.pruning) || cost_le p.p_cost gs.gs_limit then Some p else None)
     | Some { w_plan = None; w_bound } ->
       if cost_le gs.gs_limit w_bound then begin
         t.stats.goal_hits <- t.stats.goal_hits + 1;
+        goal_conclude run gs "hit";
         gs.gs_slot.answer <- None
       end
       else begin
@@ -674,7 +801,10 @@ module Make (M : Signatures.MODEL) = struct
         start_optimization ()
       end
     | None ->
-      if goal_in_progress run g kid then gs.gs_slot.answer <- None
+      if goal_in_progress run g kid then begin
+        goal_conclude run gs "cycle";
+        gs.gs_slot.answer <- None
+      end
       else begin
         match t.mode with
         | Seq -> start_optimization ()
@@ -694,6 +824,7 @@ module Make (M : Signatures.MODEL) = struct
                this run and picks up other work until the claim holder
                publishes a winner (or liveness forces a duplicate). *)
             push run (T_optimize_group gs);
+            goal_conclude run gs "parked";
             ctx.wk_blocked <- Some (g, kid)
           end
           else start_optimization ()
@@ -933,38 +1064,47 @@ module Make (M : Signatures.MODEL) = struct
            st.im_acc_cost <- M.cost_add st.im_acc_cost sub.Memo.p_cost;
            false)
     in
-    if failed then next_move run gs
+    if failed then begin
+      note_alt t gs ~alg:st.im_alg ~rule:st.im_rule ~cost:None
+        ~reason:Memo.Alt_input_failed;
+      next_move run gs
+    end
     else
       match st.im_pending with
       | [] ->
         consider t gs
           {
             Memo.p_alg = st.im_alg;
+            p_rule = st.im_rule;
             p_inputs = List.rev st.im_done;
             p_props = st.im_delivered;
             p_cost = st.im_acc_cost;
           };
         next_move run gs
       | (gi, ri, lb) :: rest ->
+        let over_acc = t.config.pruning && not (cost_le st.im_acc_cost gs.gs_bound) in
         let over_bound =
-          if not t.config.pruning then false
-          else if not (cost_le st.im_acc_cost gs.gs_bound) then true
-          else if t.config.guided then begin
-            (* Project the cheapest completion: accumulated cost plus
-               the pending inputs' lower bounds, folded in pursuit
-               order (the candidate's own accumulation order, so the
-               projection can never float above the finished cost). *)
-            let projected =
-              List.fold_left
-                (fun acc (_, _, lb) -> M.cost_add acc lb)
-                (M.cost_add st.im_acc_cost lb) rest
-            in
-            not (cost_le projected gs.gs_bound)
-          end
-          else false
+          over_acc
+          || t.config.pruning && t.config.guided
+             && begin
+                  (* Project the cheapest completion: accumulated cost
+                     plus the pending inputs' lower bounds, folded in
+                     pursuit order (the candidate's own accumulation
+                     order, so the projection can never float above the
+                     finished cost). *)
+                  let projected =
+                    List.fold_left
+                      (fun acc (_, _, lb) -> M.cost_add acc lb)
+                      (M.cost_add st.im_acc_cost lb) rest
+                  in
+                  not (cost_le projected gs.gs_bound)
+                end
         in
         if over_bound then begin
           t.stats.pruned <- t.stats.pruned + 1;
+          note_alt t gs ~alg:st.im_alg ~rule:st.im_rule
+            ~cost:(if over_acc then Some st.im_acc_cost else None)
+            ~reason:(if over_acc then Memo.Alt_over_bound else Memo.Alt_pruned_lb);
           next_move run gs
         end
         else begin
@@ -997,11 +1137,14 @@ module Make (M : Signatures.MODEL) = struct
     let t = run.rt in
     let gs = st.en_goal in
     (match st.en_slot.answer with
-     | None -> ()
+     | None ->
+       note_alt t gs ~alg:st.en_alg ~rule:"enforcer" ~cost:None
+         ~reason:Memo.Alt_input_failed
      | Some sub ->
        consider t gs
          {
            Memo.p_alg = st.en_alg;
+           p_rule = "enforcer";
            p_inputs = [ (gs.gs_group, st.en_relaxed, Some st.en_excluded) ];
            p_props = st.en_delivered;
            p_cost = M.cost_add st.en_local sub.Memo.p_cost;
@@ -1012,6 +1155,21 @@ module Make (M : Signatures.MODEL) = struct
   (* The stepper loop                                                    *)
   (* ------------------------------------------------------------------ *)
 
+  let exec_task run task =
+    match task with
+    | T_optimize_group gs -> begin
+      match gs.gs_phase with
+      | G_init -> optimize_group_init run gs
+      | G_collect -> optimize_group_collect run gs
+      | G_pursue -> optimize_group_pursue run gs
+    end
+    | T_explore_group g -> explore_group run g
+    | T_explore_round g -> explore_round run g
+    | T_optimize_mexpr (gs, m) -> optimize_mexpr run gs m
+    | T_apply_transform (g, m, i) -> apply_transform run g m i
+    | T_optimize_inputs st -> optimize_inputs run st
+    | T_apply_enforcer st -> apply_enforcer run st
+
   (* Execute one task. Returns [false] when the stack is empty. *)
   let step run =
     match run.r_stack with
@@ -1021,31 +1179,32 @@ module Make (M : Signatures.MODEL) = struct
       run.r_depth <- run.r_depth - 1;
       run.r_tasks <- run.r_tasks + 1;
       let t = run.rt in
-      let kind = task_kind task in
-      Search_stats.count_task t.stats kind;
-      (match t.config.trace with
-       | None -> ()
-       | Some hook ->
-         hook
-           {
-             Search_stats.ev_seq = t.stats.tasks;
-             ev_kind = kind;
-             ev_group = Memo.find_root t.memo (task_group task);
-             ev_depth = run.r_depth;
-           });
-      (match task with
-       | T_optimize_group gs -> begin
-         match gs.gs_phase with
-         | G_init -> optimize_group_init run gs
-         | G_collect -> optimize_group_collect run gs
-         | G_pursue -> optimize_group_pursue run gs
-       end
-       | T_explore_group g -> explore_group run g
-       | T_explore_round g -> explore_round run g
-       | T_optimize_mexpr (gs, m) -> optimize_mexpr run gs m
-       | T_apply_transform (g, m, i) -> apply_transform run g m i
-       | T_optimize_inputs st -> optimize_inputs run st
-       | T_apply_enforcer st -> apply_enforcer run st);
+      Search_stats.count_task t.stats (task_kind task);
+      (match t.tr_buf with
+       | None -> exec_task run task
+       | Some buf ->
+         (* A goal consultation begins the goal: open its span first so
+            this task — and the goal's whole task subtree — nests inside
+            it. A parked goal re-enters here and gets a fresh span. *)
+         (match task with
+          | T_optimize_group gs when gs.gs_phase = G_init && gs.gs_span = None ->
+            goal_open run buf gs
+          | _ -> ());
+         let parent = task_parent run task in
+         let sp =
+           Obs.Trace.open_span buf ?parent ~cat:"task"
+             ~group:(Memo.find_root t.memo (task_group task))
+             (Search_stats.task_kind_name (task_kind task))
+         in
+         (match exec_task run task with
+          | () -> Obs.Trace.close sp
+          | exception e ->
+            Obs.Trace.close ~outcome:"abandoned" sp;
+            flush_goal_closes run;
+            raise e);
+         (* Goals concluded during the task close after it, keeping the
+            bracketing proper: the task span is the goal's last child. *)
+         flush_goal_closes run);
       true
 
   (* A run record with an empty work stack. *)
@@ -1062,6 +1221,8 @@ module Make (M : Signatures.MODEL) = struct
       r_millis = 0.;
       r_status = None;
       r_marks = Hashtbl.create 8;
+      r_open_goals = [];
+      r_closing = [];
     }
 
   (** Begin a resumable optimization: capture the query in the memo and
@@ -1144,6 +1305,134 @@ module Make (M : Signatures.MODEL) = struct
     | Some { w_plan = Some p; _ } ->
       assert (M.pp_covers ~provided:p.p_props ~required);
       extract_node t p
+
+  (* ------------------------------------------------------------------ *)
+  (* EXPLAIN: winner provenance from the memo                            *)
+  (* ------------------------------------------------------------------ *)
+
+  (** A losing alternative of an optimization goal, with the reason the
+      search let it go (see {!Memo.alt_reason}). Recorded only when
+      [config.explain] is on. *)
+  type explain_alt = {
+    xa_alg : string;
+    xa_rule : string;
+    xa_cost : M.cost option;  (** completed or partial cost, if one was known *)
+    xa_reason : Memo.alt_reason;
+  }
+
+  (** One node of the winning physical expression, re-read from the
+      winner tables: the chosen algorithm, the implementation rule that
+      produced it, its total and local costs, and the alternatives the
+      goal rejected. *)
+  type explain_node = {
+    x_group : Memo.group;
+    x_alg : M.alg;
+    x_rule : string;
+    x_required : M.phys_props;
+    x_provided : M.phys_props;
+    x_cost : M.cost;  (** total cost of this subtree *)
+    x_local : M.cost;  (** this node's own cost (total minus inputs) *)
+    x_inputs : explain_node list;
+    x_alts : explain_alt list;  (** losing alternatives of this goal *)
+  }
+
+  let rec explain_goal t g ~required ~excluded : explain_node option =
+    let g = Memo.find_root t.memo g in
+    let id = Memo.intern t.memo (required, excluded) in
+    match Memo.winner_id t.memo g id with
+    | None | Some { Memo.w_plan = None; _ } -> None
+    | Some { Memo.w_plan = Some p; _ } ->
+      let inputs =
+        List.filter_map
+          (fun (gi, ri, ei) -> explain_goal t gi ~required:ri ~excluded:ei)
+          p.Memo.p_inputs
+      in
+      let local =
+        List.fold_left (fun acc (c : explain_node) -> M.cost_sub acc c.x_cost)
+          p.Memo.p_cost inputs
+      in
+      (* The goal's recorded alternatives minus one entry for the winner
+         itself: a completed candidate with the winner's algorithm, rule,
+         and cost. Everything left lost. *)
+      let is_winner (a : Memo.alt) =
+        a.Memo.a_reason = Memo.Alt_completed
+        && M.alg_name a.Memo.a_alg = M.alg_name p.Memo.p_alg
+        && a.Memo.a_rule = p.Memo.p_rule
+        && (match a.Memo.a_cost with
+            | Some c -> M.cost_compare c p.Memo.p_cost = 0
+            | None -> false)
+      in
+      let rec drop_winner = function
+        | [] -> []
+        | a :: rest -> if is_winner a then rest else a :: drop_winner rest
+      in
+      let alts =
+        List.map
+          (fun (a : Memo.alt) ->
+            {
+              xa_alg = M.alg_name a.Memo.a_alg;
+              xa_rule = a.Memo.a_rule;
+              xa_cost = a.Memo.a_cost;
+              xa_reason = a.Memo.a_reason;
+            })
+          (drop_winner (Memo.alts t.memo g id))
+      in
+      Some
+        {
+          x_group = g;
+          x_alg = p.Memo.p_alg;
+          x_rule = p.Memo.p_rule;
+          x_required = required;
+          x_provided = p.Memo.p_props;
+          x_cost = p.Memo.p_cost;
+          x_local = local;
+          x_inputs = inputs;
+          x_alts = alts;
+        }
+
+  (** Reconstruct the winning physical expression for [(g, required)]
+      with per-node provenance. [None] if no winner is recorded (run the
+      optimization first, with [config.explain] on to see losing
+      alternatives). *)
+  let explain t g ~required = explain_goal t g ~required ~excluded:None
+
+  let reason_label ~winner_cost (a : explain_alt) =
+    match a.xa_reason with
+    | Memo.Alt_completed -> (
+      match a.xa_cost with
+      | Some c when M.cost_compare c winner_cost = 0 ->
+        Printf.sprintf "completed at cost %s, tied with winner (pursued later)"
+          (M.cost_to_string c)
+      | Some c ->
+        Printf.sprintf "completed, cost %s above winner %s" (M.cost_to_string c)
+          (M.cost_to_string winner_cost)
+      | None -> "completed, costlier than winner")
+    | Memo.Alt_over_bound -> (
+      match a.xa_cost with
+      | Some c ->
+        Printf.sprintf "abandoned at partial cost %s: bound exceeded"
+          (M.cost_to_string c)
+      | None -> "abandoned: bound exceeded")
+    | Memo.Alt_pruned_lb -> "pruned: cost lower bound above the limit"
+    | Memo.Alt_input_failed -> "input goal failed within its limit (failure table)"
+
+  (** Render an {!explain} tree: one line per winning node (algorithm,
+      delivered properties, total and local cost, producing rule, memo
+      group), each followed by its goal's losing alternatives. *)
+  let pp_explain ppf (root : explain_node) =
+    let rec go depth (n : explain_node) =
+      let pad = String.make depth ' ' in
+      Format.fprintf ppf "%s%s  [%s; cost %s; local %s]  rule=%s group=%d@\n" pad
+        (M.alg_name n.x_alg) (M.pp_to_string n.x_provided)
+        (M.cost_to_string n.x_cost) (M.cost_to_string n.x_local) n.x_rule n.x_group;
+      List.iter
+        (fun (a : explain_alt) ->
+          Format.fprintf ppf "%s  ~ %s via %s: %s@\n" pad a.xa_alg a.xa_rule
+            (reason_label ~winner_cost:n.x_cost a))
+        n.x_alts;
+      List.iter (fun c -> go (depth + 2) c) n.x_inputs
+    in
+    go 0 root
 
   (** The best complete plan the run has found so far — the anytime
       answer. For a finished run this is the winner; for a paused run it
@@ -1306,12 +1595,20 @@ module Make (M : Signatures.MODEL) = struct
   let par_phase t ~domains ~deadline ~cap seeds =
     let seeds = Array.of_list seeds in
     let next = Atomic.make 0 in
-    let work () =
+    let work widx =
       let wstats = Search_stats.create () in
       let ctx = { wk_cap = cap; wk_blocked = None; wk_force = None } in
-      let wt =
-        { t with stats = wstats; config = { t.config with trace = None };
-          mode = Worker ctx }
+      (* Each worker writes spans to its own track (track 0 is the
+         sequential engine); the collector merges the buffers post-run,
+         so traces cover the parallel phase. *)
+      let wbuf =
+        Option.map (fun tr -> Obs.Trace.buf tr ~track:(widx + 1)) t.config.tracer
+      in
+      let wt = { t with stats = wstats; mode = Worker ctx; tr_buf = wbuf } in
+      let phase_span =
+        Option.map
+          (fun buf -> Obs.Trace.open_span buf ~cat:"phase" "parallel-worker")
+          wbuf
       in
       let past_deadline () =
         match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
@@ -1329,6 +1626,7 @@ module Make (M : Signatures.MODEL) = struct
         try go ()
         with Par_unexplored ->
           run.r_stack <- [];
+          abandon_run_spans run;
           true
       in
       let park run = Queue.add (run, Option.get ctx.wk_blocked) blocked in
@@ -1402,9 +1700,12 @@ module Make (M : Signatures.MODEL) = struct
             end
         end
       done;
+      (* Runs still parked at the deadline are being thrown away. *)
+      Queue.iter (fun (run, _) -> abandon_run_spans run) blocked;
+      Option.iter (fun sp -> Obs.Trace.close sp) phase_span;
       wstats
     in
-    let workers = List.init domains (fun _ -> Domain.spawn work) in
+    let workers = List.init domains (fun i -> Domain.spawn (fun () -> work i)) in
     List.iter (fun d -> Search_stats.merge ~into:t.stats (Domain.join d)) workers
 
   (** {!optimize} with intra-query parallelism. With [domains = n > 1]
@@ -1434,8 +1735,10 @@ module Make (M : Signatures.MODEL) = struct
       hits, claimed and duplicated goals) vary with scheduling.
       [domains <= 1] is exactly {!optimize}. Budgets with [domains > 1]
       bound the wall clock across all phases but the task count only in
-      the sequential phases; the trace hook only sees the sequential
-      phases. *)
+      the sequential phases. With a [tracer] configured, every phase is
+      covered: the sequential engine records on track 0 under [phase]
+      spans, each worker on its own track, and the collector merges the
+      buffers post-run. *)
   let run ?(limit = M.cost_infinite) ?budget ?(domains = 1) t (query : M.op Tree.t)
       ~required : outcome =
     if domains <= 1 then optimize ~limit ?budget t query ~required
@@ -1448,6 +1751,16 @@ module Make (M : Signatures.MODEL) = struct
       let past_deadline () =
         match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
       in
+      (* Bracket each of the four phases in a [phase] span on track 0.
+         Monomorphic on purpose: every phase body returns unit. *)
+      let phase name (f : unit -> unit) =
+        match t.tr_buf with
+        | None -> f ()
+        | Some buf ->
+          let sp = Obs.Trace.open_span buf ~cat:"phase" name in
+          f ();
+          Obs.Trace.close sp
+      in
       let root = insert_query t query in
       let key = (required, None) in
       let answered =
@@ -1457,7 +1770,7 @@ module Make (M : Signatures.MODEL) = struct
         | None -> false
       in
       if not answered then begin
-        explore_reachable t root ~required ~limit;
+        phase "explore" (fun () -> explore_reachable t root ~required ~limit);
         Memo.compress_paths t.memo
       end;
       let r = start ~limit t query ~required in
@@ -1465,9 +1778,10 @@ module Make (M : Signatures.MODEL) = struct
         (* Sequential prefix: drive the engine to its first complete
            candidate. Promise ordering makes this a near-greedy descent,
            a small fraction of the total search. *)
-        while r.r_stack <> [] && r.r_goal.gs_best = None && not (past_deadline ()) do
-          ignore (step r : bool)
-        done;
+        phase "prefix" (fun () ->
+            while r.r_stack <> [] && r.r_goal.gs_best = None && not (past_deadline ()) do
+              ignore (step r : bool)
+            done);
         match r.r_goal.gs_best with
         | Some incumbent when r.r_stack <> [] && not (past_deadline ()) ->
           (* The root's move list is already assembled and mid-pursuit
@@ -1477,7 +1791,8 @@ module Make (M : Signatures.MODEL) = struct
           let seeds = dedup_seeds (seeds_of_moves t r.r_goal r.r_goal.gs_moves) in
           if seeds <> [] then begin
             Memo.reset_claims t.memo;
-            par_phase t ~domains ~deadline ~cap:incumbent.p_cost seeds
+            phase "parallel" (fun () ->
+                par_phase t ~domains ~deadline ~cap:incumbent.p_cost seeds)
           end
         | _ -> ()
       end;
@@ -1485,7 +1800,7 @@ module Make (M : Signatures.MODEL) = struct
          run's wall clock so a time budget bounds the whole
          optimization, not just the finishing pass. *)
       r.r_millis <- (Unix.gettimeofday () -. t0) *. 1000.;
-      ignore (resume ?budget r : status);
+      phase "finish" (fun () -> ignore (resume ?budget r : status));
       outcome_of r
     end
 

@@ -32,17 +32,6 @@ let task_kind_name = function
   | Optimize_inputs -> "optimize-inputs"
   | Apply_enforcer -> "apply-enforcer"
 
-type trace_event = {
-  ev_seq : int;  (** task sequence number within the searcher *)
-  ev_kind : task_kind;
-  ev_group : int;  (** root group the task operates on *)
-  ev_depth : int;  (** stack depth when the task was popped *)
-}
-
-let pp_trace_event ppf e =
-  Format.fprintf ppf "#%d %s group=%d depth=%d" e.ev_seq (task_kind_name e.ev_kind)
-    e.ev_group e.ev_depth
-
 type t = {
   mutable goals : int;
   mutable goal_hits : int;
@@ -189,3 +178,43 @@ let pp_tasks ppf t =
           (fun k -> Printf.sprintf "%s=%d" (task_kind_name k) (tasks_of_kind t k))
           task_kinds))
     t.stack_hwm
+
+(* Every counter with its metric-name suffix, in display order — the
+   single source for metrics registration (and for the glossary in the
+   README, which must list exactly these names). *)
+let fields t =
+  [
+    ("goals", fun () -> t.goals);
+    ("goal_hits", fun () -> t.goal_hits);
+    ("goal_misses", fun () -> t.goal_misses);
+    ("groups_created", fun () -> t.groups_created);
+    ("mexprs_created", fun () -> t.mexprs_created);
+    ("rule_firings", fun () -> t.rule_firings);
+    ("plans_costed", fun () -> t.plans_costed);
+    ("enforcer_moves", fun () -> t.enforcer_moves);
+    ("failures", fun () -> t.failures);
+    ("pruned", fun () -> t.pruned);
+    ("merges", fun () -> t.merges);
+    ("tasks_total", fun () -> t.tasks);
+    ("stack_hwm", fun () -> t.stack_hwm);
+    ("par_goals_claimed", fun () -> t.par_goals_claimed);
+    ("par_dup_goals", fun () -> t.par_dup_goals);
+    ("goals_pruned_lb", fun () -> t.goals_pruned_lb);
+    ("input_limits_tightened", fun () -> t.input_limits_tightened);
+    ("memo_fastpath_hits", fun () -> t.memo_fastpath_hits);
+  ]
+  @ List.map
+      (fun k ->
+        let suffix =
+          String.map (fun c -> if c = '-' then '_' else c) (task_kind_name k)
+        in
+        ("tasks_" ^ suffix, fun () -> tasks_of_kind t k))
+      task_kinds
+
+let metric_names prefix = List.map (fun (n, _) -> prefix ^ n) (fields (create ()))
+
+let register ?(prefix = "volcano_search_") reg t =
+  List.iter
+    (fun (name, read) ->
+      Obs.Metrics.gauge reg (prefix ^ name) (fun () -> float_of_int (read ())))
+    (fields t)

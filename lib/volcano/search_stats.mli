@@ -23,16 +23,6 @@ val task_kinds : task_kind list
 
 val task_kind_name : task_kind -> string
 
-(** One per-task trace record, emitted through the optional trace hook. *)
-type trace_event = {
-  ev_seq : int;  (** task sequence number within the searcher *)
-  ev_kind : task_kind;
-  ev_group : int;  (** root group the task operates on *)
-  ev_depth : int;  (** stack depth when the task was popped *)
-}
-
-val pp_trace_event : Format.formatter -> trace_event -> unit
-
 type t = {
   mutable goals : int;  (** goals that ran a real optimization *)
   mutable goal_hits : int;  (** goals answered from the winner table *)
@@ -101,3 +91,13 @@ val pp : Format.formatter -> t -> unit
 
 val pp_tasks : Format.formatter -> t -> unit
 (** Render the per-kind task counters and the stack high-water mark. *)
+
+val register : ?prefix:string -> Obs.Metrics.registry -> t -> unit
+(** Surface every counter (including the per-kind task counters) as a
+    gauge in [reg], named [prefix ^ field] (default prefix
+    ["volcano_search_"]). Gauges read the live record, so registering
+    once before (or after) a run is enough. *)
+
+val metric_names : string -> string list
+(** [metric_names prefix] — the metric names {!register} would create,
+    for shape validators and the documentation glossary. *)

@@ -1,7 +1,7 @@
 (* Tests of the explicit task engine: golden plan costs against the
    recursive engine it replaced, budgets and anytime plans, failure
-   caching observed through the task counters, resumability, and the
-   trace hook. *)
+   caching observed through the task counters, resumability, and span
+   tracing. *)
 
 open Relalg
 
@@ -245,33 +245,47 @@ let test_resume_after_complete_is_noop () =
 (* Tracing and scheduler counters                                      *)
 (* ------------------------------------------------------------------ *)
 
-let test_trace_hook_and_counters () =
-  let events = ref [] in
-  let config =
-    { S.default_config with trace = Some (fun e -> events := e :: !events) }
-  in
+let test_trace_spans_and_counters () =
+  let tracer = Obs.Trace.create () in
+  let config = { S.default_config with tracer = Some tracer } in
   let t = S.create ~config () in
   let outcome =
     S.optimize t (Relmodel.Rel_model.to_tree three_way_join) ~required:Phys_prop.any
   in
   Alcotest.(check bool) "plan found" true (outcome.plan <> None);
   let s = S.stats t in
-  Alcotest.(check int) "one trace event per task" s.tasks (List.length !events);
+  let spans = Obs.Trace.spans tracer in
+  let task_spans =
+    List.filter (fun (sp : Obs.Trace.span) -> sp.sp_cat = "task") spans
+  in
+  Alcotest.(check int) "one task span per task" s.tasks (List.length task_spans);
   let open Volcano.Search_stats in
   Alcotest.(check int) "per-kind counters sum to the total" s.tasks
     (List.fold_left (fun acc k -> acc + tasks_of_kind s k) 0 task_kinds);
   List.iter
     (fun k ->
+      let n =
+        List.length
+          (List.filter
+             (fun (sp : Obs.Trace.span) -> sp.sp_name = task_kind_name k)
+             task_spans)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "task-span count for %s matches its counter" (task_kind_name k))
+        (tasks_of_kind s k) n;
       Alcotest.(check bool)
         (Printf.sprintf "task kind %s exercised" (task_kind_name k))
         true
         (tasks_of_kind s k > 0))
     task_kinds;
   Alcotest.(check bool) "stack high-water mark recorded" true (s.stack_hwm > 1);
-  (* Events arrive in execution order (prepended: newest first). *)
-  let seqs = List.rev_map (fun e -> e.ev_seq) !events in
-  Alcotest.(check bool) "sequence numbers increase" true
-    (List.sort compare seqs = seqs)
+  (* A completed sequential run leaves no span open. *)
+  Alcotest.(check int) "every span closed" (Obs.Trace.total tracer)
+    (Obs.Trace.closed tracer);
+  (* [spans] is start-ordered. *)
+  let starts = List.map (fun (sp : Obs.Trace.span) -> sp.sp_start) spans in
+  Alcotest.(check bool) "spans are start-ordered" true
+    (List.sort compare starts = starts)
 
 let suite =
   [
@@ -285,6 +299,6 @@ let suite =
       test_resume_equivalence;
     Alcotest.test_case "resume after completion is a no-op" `Quick
       test_resume_after_complete_is_noop;
-    Alcotest.test_case "trace hook fires once per task" `Quick
-      test_trace_hook_and_counters;
+    Alcotest.test_case "span tracing matches the task counters" `Quick
+      test_trace_spans_and_counters;
   ]

@@ -90,6 +90,7 @@ let test_winner_table () =
   let plan =
     {
       Memo.p_alg = Physical.Table_scan "r";
+      p_rule = "scan";
       p_inputs = [];
       p_props = Phys_prop.any;
       p_cost = Cost.make ~io:1. ~cpu:0.;

@@ -1,0 +1,480 @@
+(* Tests of the observability layer (lib/obs) and its wiring into the
+   search engine: JSON emit/parse roundtrips, the metrics registry and
+   its exporters, span-tree well-formedness (every span closed exactly
+   once, children bracketed by their parents, per-kind task-span counts
+   equal to the engine's task counters — sequentially and across
+   parallel worker tracks), the Chrome-trace exporter, EXPLAIN
+   provenance, plansrv latency quantiles, and the guarantee that
+   turning observability on never changes the plan. *)
+
+open Relalg
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("a", Arr [ int 1; Num 2.5; Str "x\"y\n\t\\"; Bool true; Null ]);
+          ("empty_obj", Obj []);
+          ("empty_arr", Arr []);
+          ("neg", Num (-0.125));
+          ("big", Num 1e17);
+        ])
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string v) with
+   | Ok v' -> Alcotest.(check bool) "emit/parse roundtrip" true (v = v')
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* Accessors. *)
+  let l = Option.bind (Obs.Json.member "a" v) Obs.Json.to_list in
+  (match l with
+   | Some (x :: _) -> Alcotest.(check (option int)) "int accessor" (Some 1) (Obs.Json.to_int x)
+   | _ -> Alcotest.fail "member/to_list");
+  Alcotest.(check (option string)) "str accessor" (Some "x\"y\n\t\\")
+    (match l with
+     | Some [ _; _; s; _; _ ] -> Obs.Json.to_str s
+     | _ -> None);
+  Alcotest.(check bool) "missing member" true (Obs.Json.member "nope" v = None);
+  Alcotest.(check bool) "shape mismatch" true (Obs.Json.to_int (Obs.Json.Str "1") = None)
+
+let test_json_errors () =
+  let bad s =
+    match Obs.Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unterminated object" true (bad "{");
+  Alcotest.(check bool) "trailing garbage" true (bad "1 x");
+  Alcotest.(check bool) "bare word" true (bad "nulla");
+  Alcotest.(check bool) "unterminated string" true (bad {|"abc|});
+  Alcotest.(check bool) "valid nested ok" false (bad {|{"a":[1,{"b":null}]}|})
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters_and_gauges () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~help:"test counter" "test_total" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "counter accumulates" 42 (Obs.Metrics.counter_value c);
+  (* Fetch-by-name returns the same counter. *)
+  Obs.Metrics.incr (Obs.Metrics.counter reg "test_total");
+  Alcotest.(check int) "same counter by name" 43 (Obs.Metrics.counter_value c);
+  let cell = ref 7.5 in
+  Obs.Metrics.gauge reg ~help:"test gauge" "test_gauge" (fun () -> !cell);
+  let text = Obs.Metrics.to_prometheus reg in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prometheus counter line" true (contains "test_total 43" text);
+  Alcotest.(check bool) "prometheus gauge line" true (contains "test_gauge 7.5" text);
+  Alcotest.(check bool) "prometheus TYPE comments" true (contains "# TYPE test_total counter" text);
+  (* Gauges read the live cell at export time. *)
+  cell := 9.;
+  Alcotest.(check bool) "gauge reads live value" true
+    (contains "test_gauge 9" (Obs.Metrics.to_prometheus reg))
+
+let test_histogram_quantiles () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg ~help:"test histogram" "test_ms" in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Obs.Metrics.quantile h 0.5);
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Metrics.hist_count h);
+  Alcotest.(check (float 0.)) "sum" 5050. (Obs.Metrics.hist_sum h);
+  Alcotest.(check (float 0.)) "max" 100. (Obs.Metrics.hist_max h);
+  (* Log-bucketed estimates are conservative: at least the true value,
+     at most 2x it (and never above the observed max). *)
+  List.iter
+    (fun (q, true_v) ->
+      let est = Obs.Metrics.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f estimate %.1f >= true %.1f" q est true_v)
+        true (est >= true_v);
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f estimate %.1f <= 2x true" q est)
+        true (est <= 2. *. true_v);
+      Alcotest.(check bool) "estimate capped at max" true (est <= 100.))
+    [ (0.5, 50.); (0.95, 95.); (0.99, 99.) ];
+  Alcotest.(check (float 0.)) "q1 is the max" 100. (Obs.Metrics.quantile h 1.0)
+
+let test_metrics_json_shape () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter reg "c_total");
+  Obs.Metrics.gauge reg "g" (fun () -> 3.);
+  Obs.Metrics.observe (Obs.Metrics.histogram reg "h_ms") 12.;
+  let j = Obs.Metrics.to_json reg in
+  let get path =
+    List.fold_left (fun acc k -> Option.bind acc (Obs.Json.member k)) (Some j) path
+  in
+  Alcotest.(check (option int)) "counter in JSON" (Some 1)
+    (Option.bind (get [ "counters"; "c_total" ]) Obs.Json.to_int);
+  Alcotest.(check (option (float 0.))) "gauge in JSON" (Some 3.)
+    (Option.bind (get [ "gauges"; "g" ]) Obs.Json.to_float);
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "histogram %s present" field)
+        true
+        (Option.bind (get [ "histograms"; "h_ms"; field ]) Obs.Json.to_float <> None))
+    [ "count"; "sum"; "max"; "p50"; "p95"; "p99" ]
+
+(* ------------------------------------------------------------------ *)
+(* Span trees from real optimizations                                  *)
+(* ------------------------------------------------------------------ *)
+
+let optimize ?tracer ?(explain = false) ?(domains = 1) (q : Workload.query) =
+  let req =
+    { (Relmodel.Optimizer.request q.catalog) with
+      restore_columns = false;
+      domains;
+      tracer;
+      explain }
+  in
+  Relmodel.Optimizer.optimize req q.logical ~required:Phys_prop.any
+
+let workload ~shape ~n ~seed =
+  Workload.generate (Workload.spec ~shape ~n_relations:n ~seed ())
+
+(* The well-formedness contract of a finished run's trace:
+   - every span closed exactly once ([closed = total], no open spans);
+   - parent links resolve, stay on one track, and bracket the child in
+     time (a goal span closes after its concluding task's span);
+   - per-kind task-span counts equal the engine's task counters, so the
+     trace is a complete account of the work — including the parallel
+     phase, whose workers record on their own tracks;
+   - the merged span list is start-ordered. *)
+let assert_well_formed msg tracer (stats : Volcano.Search_stats.t) =
+  let spans = Obs.Trace.spans tracer in
+  Alcotest.(check int)
+    (msg ^ ": every span closed exactly once")
+    (Obs.Trace.total tracer) (Obs.Trace.closed tracer);
+  let by_id = Hashtbl.create 1024 in
+  List.iter (fun (sp : Obs.Trace.span) -> Hashtbl.replace by_id sp.Obs.Trace.sp_id sp) spans;
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      if Obs.Trace.is_open sp then Alcotest.failf "%s: span %s left open" msg sp.sp_name;
+      if Int64.compare sp.sp_end sp.sp_start < 0 then
+        Alcotest.failf "%s: span %s ends before it starts" msg sp.sp_name;
+      if sp.sp_parent <> 0 then
+        match Hashtbl.find_opt by_id sp.sp_parent with
+        | None -> Alcotest.failf "%s: span %s has a dangling parent id" msg sp.sp_name
+        | Some parent ->
+          if parent.Obs.Trace.sp_track <> sp.sp_track then
+            Alcotest.failf "%s: span %s crosses tracks to its parent" msg sp.sp_name;
+          if
+            Int64.compare parent.Obs.Trace.sp_start sp.sp_start > 0
+            || Int64.compare sp.sp_end parent.Obs.Trace.sp_end > 0
+          then Alcotest.failf "%s: span %s escapes its parent's bracket" msg sp.sp_name)
+    spans;
+  let task_spans =
+    List.filter (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_cat = "task") spans
+  in
+  List.iter
+    (fun k ->
+      let name = Volcano.Search_stats.task_kind_name k in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s spans = task counter" msg name)
+        (Volcano.Search_stats.tasks_of_kind stats k)
+        (List.length
+           (List.filter (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_name = name) task_spans)))
+    Volcano.Search_stats.task_kinds;
+  Alcotest.(check int)
+    (msg ^ ": task spans = total tasks counter")
+    stats.Volcano.Search_stats.tasks (List.length task_spans);
+  let rec ordered = function
+    | (a : Obs.Trace.span) :: (b :: _ as rest) ->
+      Int64.compare a.sp_start b.Obs.Trace.sp_start <= 0 && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (msg ^ ": merged spans start-ordered") true (ordered spans)
+
+let test_span_tree_sequential () =
+  let q = workload ~shape:Workload.Chain ~n:4 ~seed:23 in
+  let tracer = Obs.Trace.create () in
+  let result = optimize ~tracer q in
+  Alcotest.(check bool) "found a plan" true (result.plan <> None);
+  Alcotest.(check (list int)) "sequential run uses track 0 only" [ 0 ]
+    (Obs.Trace.tracks tracer);
+  assert_well_formed "sequential chain n=4" tracer result.stats;
+  let spans = Obs.Trace.spans tracer in
+  (* Goal spans carry outcomes; at least one goal won (the root). *)
+  let goals = List.filter (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_cat = "goal") spans in
+  Alcotest.(check bool) "goal spans present" true (goals <> []);
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      if sp.Obs.Trace.sp_outcome = "" then
+        Alcotest.failf "goal span for group %d has no outcome" sp.sp_group)
+    goals;
+  Alcotest.(check bool) "some goal won" true
+    (List.exists (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_outcome = "won") goals)
+
+let test_double_close_raises () =
+  let tracer = Obs.Trace.create () in
+  let buf = Obs.Trace.buf tracer ~track:0 in
+  let sp = Obs.Trace.open_span buf ~cat:"task" "x" in
+  Obs.Trace.close sp;
+  Alcotest.check_raises "second close refused"
+    (Invalid_argument "Trace.close: span already closed") (fun () -> Obs.Trace.close sp)
+
+let test_four_domain_tracks () =
+  let q = workload ~shape:Workload.Star ~n:5 ~seed:105 in
+  let tracer = Obs.Trace.create () in
+  let result = optimize ~tracer ~domains:4 q in
+  Alcotest.(check bool) "found a plan" true (result.plan <> None);
+  Alcotest.(check (list int)) "one track per domain plus the sequential engine"
+    [ 0; 1; 2; 3; 4 ] (Obs.Trace.tracks tracer);
+  assert_well_formed "star n=5 at 4 domains" tracer result.stats;
+  (* The parallel phase is really covered: worker tracks carry task
+     spans (the old flat hook dropped all of this on the floor). *)
+  let worker_tasks =
+    List.filter
+      (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.sp_track > 0 && sp.sp_cat = "task")
+      (Obs.Trace.spans tracer)
+  in
+  Alcotest.(check bool) "worker tracks carry task spans" true (worker_tasks <> []);
+  (* Track 0 brackets the run in phase spans. *)
+  let phases =
+    List.filter_map
+      (fun (sp : Obs.Trace.span) ->
+        if sp.Obs.Trace.sp_cat = "phase" && sp.sp_track = 0 then Some sp.sp_name else None)
+      (Obs.Trace.spans tracer)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "phase %S present" name) true
+        (List.mem name phases))
+    [ "explore"; "prefix"; "parallel"; "finish" ]
+
+(* Observability must never steer the search: the plan and cost are
+   bit-identical with tracing/explain off, with both on, and at any
+   domain count with a tracer attached. *)
+let render (result : Relmodel.Optimizer.result) =
+  match result.plan with
+  | None -> "NONE"
+  | Some p -> Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+
+let test_observability_bit_identity () =
+  List.iter
+    (fun (shape, name, n, seed) ->
+      let q = workload ~shape ~n ~seed in
+      let base = render (optimize q) in
+      Alcotest.(check bool) (name ^ ": base run finds a plan") true (base <> "NONE");
+      Alcotest.(check string) (name ^ ": tracer+explain identical") base
+        (render (optimize ~tracer:(Obs.Trace.create ()) ~explain:true q));
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: traced %d-domain run identical" name domains)
+            base
+            (render (optimize ~tracer:(Obs.Trace.create ()) ~domains q)))
+        [ 2; 4 ])
+    [
+      (Workload.Chain, "chain n=4", 4, 23);
+      (Workload.Star, "star n=5", 5, 105);
+    ]
+
+(* Property: on random workloads, sequential or parallel, the span tree
+   of a finished run is well-formed and accounts for every task. *)
+let prop_spans_well_formed =
+  let gen =
+    QCheck.Gen.(
+      quad (oneofl [ Workload.Chain; Workload.Star ]) (int_range 2 4) (int_range 0 999)
+        (int_range 1 2))
+  in
+  Helpers.qcheck_case ~count:12 "span tree well-formed on random workloads"
+    (QCheck.make gen) (fun (shape, n, seed, domains) ->
+      let q = workload ~shape ~n ~seed in
+      let tracer = Obs.Trace.create () in
+      let result = optimize ~tracer ~domains q in
+      assert_well_formed
+        (Printf.sprintf "shape=%s n=%d seed=%d domains=%d"
+           (match shape with Workload.Chain -> "chain" | _ -> "star")
+           n seed domains)
+        tracer result.stats;
+      result.plan <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_shape () =
+  let q = workload ~shape:Workload.Star ~n:4 ~seed:104 in
+  let tracer = Obs.Trace.create () in
+  ignore (optimize ~tracer ~domains:4 q : Relmodel.Optimizer.result);
+  let parsed =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.Chrome_trace.to_json tracer)) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "exported trace does not parse: %s" e
+  in
+  Alcotest.(check (option string)) "displayTimeUnit" (Some "ms")
+    (Option.bind (Obs.Json.member "displayTimeUnit" parsed) Obs.Json.to_str);
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" parsed) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents missing or not an array"
+  in
+  Alcotest.(check int) "one event per span plus track metadata"
+    (Obs.Trace.total tracer + List.length (Obs.Trace.tracks tracer))
+    (List.length events);
+  let field name ev = Obs.Json.member name ev in
+  let tids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let ph =
+        match Option.bind (field "ph" ev) Obs.Json.to_str with
+        | Some ph -> ph
+        | None -> Alcotest.fail "event without ph"
+      in
+      Alcotest.(check bool) "ph is X or M" true (ph = "X" || ph = "M");
+      Alcotest.(check bool) "event has a name" true
+        (Option.bind (field "name" ev) Obs.Json.to_str <> None);
+      let tid =
+        match Option.bind (field "tid" ev) Obs.Json.to_int with
+        | Some tid -> tid
+        | None -> Alcotest.fail "event without tid"
+      in
+      if ph = "X" then begin
+        Hashtbl.replace tids tid ();
+        let num name =
+          match Option.bind (field name ev) Obs.Json.to_float with
+          | Some v -> v
+          | None -> Alcotest.failf "X event without %s" name
+        in
+        Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.);
+        Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.);
+        Alcotest.(check bool) "cat is task/goal/phase" true
+          (match Option.bind (field "cat" ev) Obs.Json.to_str with
+           | Some ("task" | "goal" | "phase") -> true
+           | _ -> false)
+      end)
+    events;
+  List.iter
+    (fun track ->
+      Alcotest.(check bool) (Printf.sprintf "track %d has events" track) true
+        (Hashtbl.mem tids track))
+    (Obs.Trace.tracks tracer)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN provenance                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_provenance () =
+  let q = workload ~shape:Workload.Star ~n:4 ~seed:104 in
+  let result = optimize ~explain:true q in
+  let plan = match result.plan with Some p -> p | None -> Alcotest.fail "no plan" in
+  let text = match result.explain with Some s -> s | None -> Alcotest.fail "no explain" in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let winners = List.filter (contains "rule=") lines in
+  let alts = List.filter (contains "~ ") lines in
+  (* One winner line per plan node, each with its cost breakdown. *)
+  let rec plan_size (p : Relmodel.Optimizer.plan_node) =
+    1 + List.fold_left (fun acc c -> acc + plan_size c) 0 p.children
+  in
+  Alcotest.(check int) "one provenance line per plan node" (plan_size plan)
+    (List.length winners);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "winner line has cost" true (contains "cost " l);
+      Alcotest.(check bool) "winner line has local cost" true (contains "local " l);
+      Alcotest.(check bool) "winner line has its group" true (contains "group=" l))
+    winners;
+  (* The root line names the root algorithm. *)
+  (match lines with
+   | first :: _ ->
+     Alcotest.(check bool) "root line names the root algorithm" true
+       (contains (Physical.alg_name plan.alg) first)
+   | [] -> Alcotest.fail "empty explain");
+  (* Losing alternatives survive, with human-readable reasons. *)
+  Alcotest.(check bool) "losing alternatives present" true (alts <> []);
+  Alcotest.(check bool) "a losing reason is rendered" true
+    (List.exists
+       (fun l ->
+         contains "completed" l || contains "bound exceeded" l || contains "pruned" l
+         || contains "failed" l)
+       alts)
+
+let test_explain_off_by_default () =
+  let q = workload ~shape:Workload.Chain ~n:3 ~seed:1 in
+  let result = optimize q in
+  Alcotest.(check bool) "no explain text unless requested" true (result.explain = None)
+
+(* ------------------------------------------------------------------ *)
+(* Plansrv latency quantiles and registry                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_plansrv_latency_and_registry () =
+  let catalog = Helpers.small_catalog () in
+  let request =
+    { (Relmodel.Optimizer.request catalog) with restore_columns = false }
+  in
+  let srv = Plansrv.create (Plansrv.config ~capacity:16 ~shards:2 request) in
+  let w = Plansrv.worker srv in
+  let q = Expr.(Logical.join (col "r.a" =% col "s.a") (Logical.get "r") (Logical.get "s")) in
+  ignore (Plansrv.serve_one srv w q ~required:Phys_prop.any);
+  for _ = 1 to 5 do
+    ignore (Plansrv.serve_one srv w q ~required:Phys_prop.any)
+  done;
+  let m = Plansrv.metrics srv in
+  let check_latency name (l : Plansrv.latency) =
+    Alcotest.(check bool) (name ^ ": non-negative latencies") true (l.p50_ms >= 0.);
+    Alcotest.(check bool) (name ^ ": quantiles ordered") true
+      (l.p50_ms <= l.p95_ms && l.p95_ms <= l.p99_ms);
+    Alcotest.(check bool) (name ^ ": p99 within observed max") true (l.p99_ms <= l.max_ms)
+  in
+  Alcotest.(check int) "one cold serve" 1 m.cold.count;
+  Alcotest.(check int) "five warm serves" 5 m.warm.count;
+  check_latency "cold" m.cold;
+  check_latency "warm" m.warm;
+  (* The registry surfaces the service and search counters. *)
+  let text = Obs.Metrics.to_prometheus (Plansrv.registry srv) in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "registry exports %s" name) true
+        (contains name text))
+    [
+      "plansrv_requests 6";
+      "plansrv_hits 5";
+      "plansrv_misses 1";
+      "plansrv_warm_latency_ms_count 5";
+      "plansrv_cold_latency_ms_count 1";
+      "volcano_search_tasks";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip and accessors" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_errors;
+    Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
+    Alcotest.test_case "histogram quantiles conservative" `Quick test_histogram_quantiles;
+    Alcotest.test_case "metrics JSON shape" `Quick test_metrics_json_shape;
+    Alcotest.test_case "sequential span tree well-formed" `Quick test_span_tree_sequential;
+    Alcotest.test_case "a span closes exactly once" `Quick test_double_close_raises;
+    Alcotest.test_case "4-domain run: one track per worker" `Quick test_four_domain_tracks;
+    Alcotest.test_case "observability never changes the plan" `Quick
+      test_observability_bit_identity;
+    prop_spans_well_formed;
+    Alcotest.test_case "chrome trace export shape" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "explain provenance" `Quick test_explain_provenance;
+    Alcotest.test_case "explain off by default" `Quick test_explain_off_by_default;
+    Alcotest.test_case "plansrv latency quantiles and registry" `Quick
+      test_plansrv_latency_and_registry;
+  ]

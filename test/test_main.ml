@@ -23,5 +23,6 @@ let () =
       ("sql", Suite_sql.suite);
       ("workload", Suite_workload.suite);
       ("oomodel", Suite_oomodel.suite);
+      ("obs", Suite_obs.suite);
       ("e2e", Suite_e2e.suite);
     ]

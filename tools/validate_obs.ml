@@ -1,0 +1,120 @@
+(* Shape validators for the observability artifacts, used by CI smoke
+   jobs: Chrome traces from [volcano-cli optimize --trace-out], metrics
+   snapshots from [--metrics-out], and the benchmark JSON reports.
+   Exits 1 with a message on the first violation, so a CI step is just
+   [validate_obs trace trace.json].
+
+   Usage:
+     validate_obs trace FILE       Chrome trace event file
+     validate_obs metrics FILE     metrics snapshot (counters/gauges/histograms)
+     validate_obs bench FILE...    benchmark reports (non-empty JSON objects) *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("validate_obs: " ^ s);
+      exit 1)
+    fmt
+
+let load path =
+  match Obs.Json.read_file path with
+  | Ok j -> j
+  | Error e -> fail "%s: %s" path e
+
+let str_field name ev = Option.bind (Obs.Json.member name ev) Obs.Json.to_str
+
+let num_field name ev = Option.bind (Obs.Json.member name ev) Obs.Json.to_float
+
+(* A Chrome trace: {"traceEvents": [...], "displayTimeUnit": "ms"},
+   every event a complete span ("X") or track metadata ("M") with
+   non-negative microsecond timestamps, and track 0 (the sequential
+   engine) present. *)
+let validate_trace path =
+  let j = load path in
+  (match str_field "displayTimeUnit" j with
+   | Some "ms" -> ()
+   | _ -> fail "%s: displayTimeUnit is not \"ms\"" path);
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: traceEvents is empty" path
+    | Some l -> l
+    | None -> fail "%s: traceEvents missing or not an array" path
+  in
+  let tracks = Hashtbl.create 8 in
+  List.iteri
+    (fun i ev ->
+      let ph =
+        match str_field "ph" ev with
+        | Some ph -> ph
+        | None -> fail "%s: event %d has no ph" path i
+      in
+      if ph <> "X" && ph <> "M" then fail "%s: event %d has ph %S" path i ph;
+      if str_field "name" ev = None then fail "%s: event %d has no name" path i;
+      let tid =
+        match Option.bind (Obs.Json.member "tid" ev) Obs.Json.to_int with
+        | Some tid -> tid
+        | None -> fail "%s: event %d has no tid" path i
+      in
+      if ph = "X" then begin
+        Hashtbl.replace tracks tid ();
+        (match num_field "ts" ev with
+         | Some ts when ts >= 0. -> ()
+         | _ -> fail "%s: event %d has a bad ts" path i);
+        (match num_field "dur" ev with
+         | Some dur when dur >= 0. -> ()
+         | _ -> fail "%s: event %d has a bad dur" path i);
+        match str_field "cat" ev with
+        | Some ("task" | "goal" | "phase") -> ()
+        | _ -> fail "%s: event %d has an unknown cat" path i
+      end)
+    events;
+  if not (Hashtbl.mem tracks 0) then fail "%s: no spans on track 0" path;
+  Printf.printf "OK %s: %d events, %d tracks\n" path (List.length events)
+    (Hashtbl.length tracks)
+
+(* A metrics snapshot: counters/gauges/histograms objects, every search
+   counter from the glossary present as a gauge, every histogram with
+   count/sum/max/p50/p95/p99. *)
+let validate_metrics path =
+  let j = load path in
+  let section name =
+    match Obs.Json.member name j with
+    | Some (Obs.Json.Obj fields) -> fields
+    | _ -> fail "%s: %s missing or not an object" path name
+  in
+  ignore (section "counters");
+  let gauges = section "gauges" in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name gauges) then
+        fail "%s: search gauge %s missing" path name)
+    (Volcano.Search_stats.metric_names "volcano_search_");
+  let histograms = section "histograms" in
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun field ->
+          match num_field field h with
+          | Some v when v >= 0. -> ()
+          | _ -> fail "%s: histogram %s has a bad %s" path name field)
+        [ "count"; "sum"; "max"; "p50"; "p95"; "p99" ])
+    histograms;
+  Printf.printf "OK %s: %d gauges, %d histograms\n" path (List.length gauges)
+    (List.length histograms)
+
+(* A benchmark report: a non-empty JSON object (the arms write their
+   own schemas; parseability and shape are what CI guards). *)
+let validate_bench path =
+  match load path with
+  | Obs.Json.Obj (_ :: _ as fields) ->
+    Printf.printf "OK %s: %d fields\n" path (List.length fields)
+  | _ -> fail "%s: not a non-empty JSON object" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "trace" :: [ path ] -> validate_trace path
+  | _ :: "metrics" :: [ path ] -> validate_metrics path
+  | _ :: "bench" :: (_ :: _ as paths) -> List.iter validate_bench paths
+  | _ ->
+    prerr_endline "usage: validate_obs {trace FILE | metrics FILE | bench FILE...}";
+    exit 2
