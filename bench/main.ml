@@ -684,8 +684,8 @@ let plansrv_bench ~full () =
      the scaling against the reported core count. *)
   let cores = Domain.recommended_domain_count () in
   Printf.printf "  available cores: %d\n" cores;
-  Printf.printf "  workers | cold (ms) | misses | warm (ms) | warm req/s\n";
-  Printf.printf "  --------+-----------+--------+-----------+-----------\n";
+  Printf.printf "  workers | cold (ms) | misses | warm (ms) | warm req/s | lock-free hits\n";
+  Printf.printf "  --------+-----------+--------+-----------+------------+---------------\n";
   let batch = Array.map (fun q -> (q, Phys_prop.any)) stream in
   let throughput =
     List.map
@@ -693,11 +693,17 @@ let plansrv_bench ~full () =
         let srv = Plansrv.create (Plansrv.config request) in
         let dt_cold, _ = time_it (fun () -> ignore (Plansrv.serve ~workers srv batch)) in
         let misses = (Plansrv.metrics srv).misses in
+        let before_warm = (Plansrv.metrics srv).lockfree_hits in
         let dt_warm, _ = time_it (fun () -> ignore (Plansrv.serve ~workers srv batch)) in
+        (* Every request of the warmed pass must have been served off the
+           shard snapshot without locking: that is the machine-neutral
+           signal that warm throughput scales with workers even on a
+           single-core container. *)
+        let lockfree = (Plansrv.metrics srv).lockfree_hits - before_warm in
         let rps = Float.of_int n /. dt_warm in
-        Printf.printf "  %7d | %9.1f | %6d | %9.1f | %.0f\n%!" workers (dt_cold *. 1000.)
-          misses (dt_warm *. 1000.) rps;
-        (workers, dt_cold *. 1000., misses, dt_warm *. 1000., rps))
+        Printf.printf "  %7d | %9.1f | %6d | %9.1f | %10.0f | %d/%d\n%!" workers
+          (dt_cold *. 1000.) misses (dt_warm *. 1000.) rps lockfree n;
+        (workers, dt_cold *. 1000., misses, dt_warm *. 1000., rps, lockfree))
       [ 1; 2; 4 ]
   in
   let oc = open_out "BENCH_plansrv.json" in
@@ -725,11 +731,12 @@ let plansrv_bench ~full () =
     cold_med (mean cold) warm_med (mean warm) speedup m.evictions m.entries cores
     (String.concat ",\n"
        (List.map
-          (fun (w, cold_ms, misses, warm_ms, rps) ->
+          (fun (w, cold_ms, misses, warm_ms, rps, lockfree) ->
             Printf.sprintf
               "    { \"workers\": %d, \"cold_wall_ms\": %.1f, \"cold_misses\": %d, \
-               \"warm_wall_ms\": %.1f, \"warm_req_per_s\": %.0f }"
-              w cold_ms misses warm_ms rps)
+               \"warm_wall_ms\": %.1f, \"warm_req_per_s\": %.0f, \
+               \"warm_lockfree_hits\": %d }"
+              w cold_ms misses warm_ms rps lockfree)
           throughput));
   close_out oc;
   Printf.printf "\n  wrote BENCH_plansrv.json\n%!"
@@ -740,30 +747,43 @@ let plansrv_bench ~full () =
 (* Writes BENCH_parsearch.json next to the build.                      *)
 (* ------------------------------------------------------------------ *)
 
-let parsearch_bench ~full () =
+(* Two scheduler arms over the same workloads and domain counts: the
+   work-stealing deques (default) and the shared-counter seeded
+   scheduler (ablation). The plan must be bit-identical to the
+   sequential engine in every cell, and the stealing arm's claim-table
+   backoff must kill duplicate goal computations outright
+   (par_dup_goals = 0). [smoke] shrinks sizes for CI and exits nonzero
+   when either property breaks. *)
+let parsearch_bench ?(smoke = false) ~full () =
   header "PARSEARCH  Intra-query parallel search (Search.run ~domains)";
   let cores = Domain.recommended_domain_count () in
   Printf.printf
-    "Per workload and domain count: best-of-3 wall clock, speedup vs the\n\
-     sequential engine, and the hardware-neutral work counters (total engine\n\
-     tasks summed over all domains, goals claimed by workers, goals computed\n\
-     in duplicate). Plans are verified bit-identical across domain counts.\n\
+    "Per workload, scheduler arm, and domain count: best-of-%d wall clock,\n\
+     speedup vs the sequential engine, and the hardware-neutral work counters\n\
+     (total engine tasks summed over all domains, goals claimed by workers,\n\
+     goals computed in duplicate, steals, backoff waits, duplicate kills).\n\
+     Plans are verified bit-identical across arms and domain counts.\n\
      Available cores: %d%s\n\n"
-    cores
+    (if smoke then 1 else 3) cores
     (if cores < 4 then
        " — fewer cores than domains: expect no wall-clock speedup here;\n\
        \     the work counters are the machine-independent signal"
      else "");
-  let sizes = if full then [ 6; 7; 8 ] else [ 6; 7 ] in
+  let sizes = if smoke then [ 5; 6 ] else if full then [ 6; 7; 8 ] else [ 6; 7 ] in
+  let reps = if smoke then 1 else 3 in
   let workloads =
     List.concat_map
       (fun n -> [ (Workload.Star, "star", n); (Workload.Chain, "chain", n) ])
       sizes
   in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   Printf.printf
-    "  workload | domains | wall (ms) | speedup | tasks | claimed | dup | identical\n";
+    "  workload | arm      | domains | wall (ms) | speedup | tasks | claimed | dup | \
+     steals | backoffs | kills | identical\n";
   Printf.printf
-    "  ---------+---------+-----------+---------+-------+---------+-----+----------\n";
+    "  ---------+----------+---------+-----------+---------+-------+---------+-----+-\
+     -------+----------+-------+----------\n";
   let rows =
     List.concat_map
       (fun (shape, name, n) ->
@@ -771,16 +791,17 @@ let parsearch_bench ~full () =
           Workload.generate
             (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (1200 * n)) ())
         in
-        let measure domains =
+        let measure scheduler domains =
           let request =
             {
               (Relmodel.Optimizer.request q.catalog) with
               restore_columns = false;
               domains;
+              scheduler;
             }
           in
           let best = ref infinity and last = ref None in
-          for _ = 1 to 3 do
+          for _ = 1 to reps do
             let dt, r =
               time_it (fun () ->
                   Relmodel.Optimizer.optimize request q.logical ~required:Phys_prop.any)
@@ -790,43 +811,68 @@ let parsearch_bench ~full () =
           done;
           (!best *. 1000., Option.get !last)
         in
-        let base_ms, base = measure 1 in
+        let base_ms, base = measure Volcano.Search.Stealing 1 in
         let base_cost =
           match base.plan with
           | Some p -> Cost.total p.cost
           | None -> nan
         in
-        List.map
-          (fun domains ->
-            let ms, r = measure domains in
-            let cost =
-              match r.plan with Some p -> Cost.total p.cost | None -> nan
-            in
-            let identical = Float.abs (cost -. base_cost) = 0. in
-            let speedup = base_ms /. ms in
-            let s = r.stats in
-            Printf.printf "  %5s n=%d | %7d | %9.1f | %6.2fx | %5d | %7d | %3d | %b\n%!"
-              name n domains ms speedup s.tasks s.par_goals_claimed s.par_dup_goals
-              identical;
-            (name, n, domains, ms, speedup, s.tasks, s.par_goals_claimed,
-             s.par_dup_goals, cost, identical))
-          [ 1; 2; 4 ])
+        List.concat_map
+          (fun (scheduler, arm) ->
+            List.map
+              (fun domains ->
+                let ms, r = measure scheduler domains in
+                let cost =
+                  match r.plan with Some p -> Cost.total p.cost | None -> nan
+                in
+                let identical = Float.abs (cost -. base_cost) = 0. in
+                if not identical then
+                  fail "%s n=%d: %s arm at %d domains diverges from sequential" name n
+                    arm domains;
+                if arm = "stealing" && r.stats.Volcano.Search_stats.par_dup_goals > 0
+                then
+                  fail "%s n=%d: stealing arm at %d domains computed %d duplicate goals"
+                    name n domains r.stats.Volcano.Search_stats.par_dup_goals;
+                let speedup = base_ms /. ms in
+                let s = r.stats in
+                Printf.printf
+                  "  %5s n=%d | %-8s | %7d | %9.1f | %6.2fx | %5d | %7d | %3d | %6d | \
+                   %8d | %5d | %b\n\
+                   %!"
+                  name n arm domains ms speedup s.tasks s.par_goals_claimed
+                  s.par_dup_goals s.par_steals s.par_backoffs s.par_dup_kills identical;
+                ( name, n, arm, domains, ms, speedup, s.tasks, s.par_goals_claimed,
+                  s.par_dup_goals, s.par_steals, s.par_backoffs, s.par_dup_kills, cost,
+                  identical ))
+              [ 1; 2; 4 ])
+          [ (Volcano.Search.Stealing, "stealing"); (Volcano.Search.Seeded, "seeded") ])
       workloads
   in
   let oc = open_out "BENCH_parsearch.json" in
-  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"runs\": [\n%s\n  ]\n}\n" cores
+  Printf.fprintf oc
+    "{\n  \"cores\": %d,\n  \"all_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n" cores
+    (!failures = [])
     (String.concat ",\n"
        (List.map
-          (fun (name, n, domains, ms, speedup, tasks, claimed, dup, cost, identical) ->
+          (fun
+            ( name, n, arm, domains, ms, speedup, tasks, claimed, dup, steals, backoffs,
+              kills, cost, identical )
+          ->
             Printf.sprintf
-              "    { \"workload\": \"%s\", \"relations\": %d, \"domains\": %d, \
-               \"wall_ms\": %.2f, \"speedup\": %.3f, \"tasks\": %d, \
-               \"par_goals_claimed\": %d, \"par_dup_goals\": %d, \
-               \"plan_cost\": %.9f, \"identical_to_sequential\": %b }"
-              name n domains ms speedup tasks claimed dup cost identical)
+              "    { \"workload\": \"%s\", \"relations\": %d, \"scheduler\": \"%s\", \
+               \"domains\": %d, \"wall_ms\": %.2f, \"speedup\": %.3f, \"tasks\": %d, \
+               \"par_goals_claimed\": %d, \"par_dup_goals\": %d, \"par_steals\": %d, \
+               \"par_backoffs\": %d, \"par_dup_kills\": %d, \"plan_cost\": %.9f, \
+               \"identical_to_sequential\": %b }"
+              name n arm domains ms speedup tasks claimed dup steals backoffs kills cost
+              identical)
           rows));
   close_out oc;
-  Printf.printf "\n  wrote BENCH_parsearch.json\n%!"
+  Printf.printf "\n  wrote BENCH_parsearch.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* PRUNING  Guided-pruning ablation (BENCH_pruning.json)               *)
@@ -961,9 +1007,10 @@ let pruning_bench ?(smoke = false) ~full () =
     fail "star workload: guided arm never pruned on a lower bound";
   let oc = open_out "BENCH_pruning.json" in
   Printf.fprintf oc
-    "{\n  \"star_task_reduction_pct\": %.2f,\n  \"star_goals_pruned_lb\": %d,\n\
+    "{\n  \"cores\": %d,\n  \"star_task_reduction_pct\": %.2f,\n\
+    \  \"star_goals_pruned_lb\": %d,\n\
     \  \"all_arms_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
-    reduction star_lb_pruned (!failures = [])
+    (Domain.recommended_domain_count ()) reduction star_lb_pruned (!failures = [])
     (String.concat ",\n"
        (List.map
           (fun (name, n, rname, arm, ms, tasks, lb, tight, fast, cost, identical) ->
@@ -1101,9 +1148,10 @@ let obs_bench ?(smoke = false) ~full () =
     fail "tracing slowdown %.2fx exceeds the 4x smoke gate" trace_x;
   let oc = open_out "BENCH_obs.json" in
   Printf.fprintf oc
-    "{\n  \"trace_slowdown_x\": %.3f,\n  \"trace_explain_slowdown_x\": %.3f,\n\
+    "{\n  \"cores\": %d,\n  \"trace_slowdown_x\": %.3f,\n\
+    \  \"trace_explain_slowdown_x\": %.3f,\n\
     \  \"all_arms_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
-    trace_x explain_x (!failures = [])
+    (Domain.recommended_domain_count ()) trace_x explain_x (!failures = [])
     (String.concat ",\n"
        (List.map
           (fun (name, n, arm, ms, tasks, spans, overhead) ->
@@ -1213,7 +1261,7 @@ let () =
   if want "a9" then a9 ~full ();
   if want "a10" then a10 ~full ();
   if want "plansrv" then plansrv_bench ~full ();
-  if want "parsearch" then parsearch_bench ~full ();
+  if want "parsearch" then parsearch_bench ~smoke ~full ();
   if want "pruning" then pruning_bench ~smoke ~full ();
   if want "obs" then obs_bench ~smoke ~full ();
   if List.mem "micro" args then micro ();

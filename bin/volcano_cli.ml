@@ -102,7 +102,7 @@ let print_trace_summary tracer =
   |> List.iter (fun (k, n) -> Format.eprintf "trace: goals %s: %d@." k n)
 
 let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_steps
-    timeout_ms trace trace_out metrics_out show_explain domains =
+    timeout_ms trace trace_out metrics_out show_explain domains scheduler =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -127,6 +127,7 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
         max_tasks = max_steps;
         max_millis = timeout_ms;
         domains;
+        scheduler;
         tracer;
         explain = show_explain;
       }
@@ -200,7 +201,7 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
 (* EXPLAIN: optimize with alternative recording on and print the winner
    provenance tree — per-node costs, producing rules, and the losing
    alternatives of every goal with the reason each lost. *)
-let run_explain sql no_pruning no_guided left_deep domains =
+let run_explain sql no_pruning no_guided left_deep domains scheduler =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -214,6 +215,7 @@ let run_explain sql no_pruning no_guided left_deep domains =
         guided_pruning = not no_guided;
         flags = { Relmodel.Rel_model.default_flags with left_deep_only = left_deep };
         domains;
+        scheduler;
         explain = true;
       }
     in
@@ -310,12 +312,12 @@ let serve_metrics srv port =
   in
   loop ()
 
-let run_serve file workers capacity shards parameterize domains metrics_port =
+let run_serve file workers capacity shards parameterize domains scheduler metrics_port =
   let catalog = demo_catalog () in
   let srv =
     Plansrv.create
       (Plansrv.config ~capacity ~shards ~parameterize
-         { (Relmodel.Optimizer.request catalog) with domains })
+         { (Relmodel.Optimizer.request catalog) with domains; scheduler })
   in
   let lines =
     match file with
@@ -399,6 +401,32 @@ let run_workload n seed =
 
 open Cmdliner
 
+(* Domain/worker/capacity counts must be >= 1: a zero or negative count
+   is a spelled-out usage error, not a silent clamp. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "expected a positive count, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let scheduler_conv =
+  Arg.enum
+    [ ("stealing", Volcano.Search.Stealing); ("seeded", Volcano.Search.Seeded) ]
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv Volcano.Search.Stealing
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Parallel-phase scheduler: $(b,stealing) (per-domain work-stealing deques \
+           with duplicate-killing claim backoff; the default) or $(b,seeded) (the \
+           shared-counter ablation arm). The found plan is identical either way; \
+           only the scheduling and its effort counters differ.")
+
 let sql_arg =
   Arg.(
     required
@@ -479,7 +507,7 @@ let optimize_cmd =
   in
   let domains =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "domains" ] ~docv:"N"
           ~doc:
             "Run the search on N OCaml domains sharing one memo. The plan and cost \
@@ -490,7 +518,7 @@ let optimize_cmd =
     Term.(
       const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ no_guided
       $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out $ explain
-      $ domains)
+      $ domains $ scheduler_arg)
 
 let explain_cmd =
   let no_pruning =
@@ -506,7 +534,7 @@ let explain_cmd =
   in
   let domains =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains for the search.")
   in
   Cmd.v
@@ -515,7 +543,9 @@ let explain_cmd =
          "Optimize a SQL statement and print winner provenance: per-node costs, the \
           implementation rule that produced each node, and every goal's losing \
           alternatives with the reason each lost")
-    Term.(const run_explain $ sql_arg $ no_pruning $ no_guided $ left_deep $ domains)
+    Term.(
+      const run_explain $ sql_arg $ no_pruning $ no_guided $ left_deep $ domains
+      $ scheduler_arg)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"List the demo catalog") Term.(const run_tables $ const ())
@@ -535,17 +565,17 @@ let serve_cmd =
   in
   let workers =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "workers" ] ~docv:"N" ~doc:"Serving domains pulling from the request queue.")
   in
   let capacity =
     Arg.(
-      value & opt int 512
+      value & opt pos_int 512
       & info [ "capacity" ] ~docv:"N" ~doc:"Total plan-cache entries across all shards.")
   in
   let shards =
     Arg.(
-      value & opt int 8
+      value & opt pos_int 8
       & info [ "shards" ] ~docv:"N" ~doc:"Independently locked cache shards.")
   in
   let parameterize =
@@ -558,7 +588,7 @@ let serve_cmd =
   in
   let domains =
     Arg.(
-      value & opt int 1
+      value & opt pos_int 1
       & info [ "domains" ] ~docv:"N"
           ~doc:
             "OCaml domains per cache-miss optimization (intra-query parallel search), \
@@ -579,7 +609,7 @@ let serve_cmd =
        ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
     Term.(
       const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains
-      $ metrics_port)
+      $ scheduler_arg $ metrics_port)
 
 let workload_cmd =
   let n =

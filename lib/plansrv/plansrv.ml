@@ -29,12 +29,26 @@ type entry = {
   stamps : (string * int) list;  (** table -> stats_version at optimization *)
   tables : string list;
   payload : payload;
-  mutable serve_count : int;
+  bytes : string option;
+      (** preformatted plan text, rendered once at insertion for static
+          entries, so warm hits serve bytes without formatting work *)
+  serve_count : int Atomic.t;
 }
 
+module Smap = Map.Make (String)
+
+(* A shard keeps two views of the same bindings: the mutex-guarded LRU
+   (authoritative — recency, capacity, eviction) and an immutable map
+   snapshot published through an atomic. Writers update both under the
+   shard lock; warm readers consult only the snapshot, so a cache hit
+   never takes a lock or mutates shared state (the epoch-style read
+   path). The price is approximate recency: lock-free hits do not
+   promote the entry, so eviction order degrades toward insertion
+   order under pure-hit traffic. *)
 type shard = {
   lock : Mutex.t;
   cache : entry Lru.t;
+  snapshot : entry Smap.t Atomic.t;
 }
 
 (* Hot-path counters are atomics, not a mutex: every request records an
@@ -46,6 +60,9 @@ type shard = {
 type counters = {
   requests : int Atomic.t;
   hits : int Atomic.t;
+  lockfree_hits : int Atomic.t;
+      (** hits answered entirely from the shard snapshot: no lock, no
+          LRU mutation (every warm hit in the current implementation) *)
   misses : int Atomic.t;
   invalidations : int Atomic.t;
   evictions : int Atomic.t;
@@ -78,12 +95,17 @@ let create cfg =
   let registry = Obs.Metrics.create () in
   let shard_tbl =
     Array.init cfg.shards (fun _ ->
-        { lock = Mutex.create (); cache = Lru.create ~capacity:shard_capacity })
+        {
+          lock = Mutex.create ();
+          cache = Lru.create ~capacity:shard_capacity;
+          snapshot = Atomic.make Smap.empty;
+        })
   in
   let counters =
     {
       requests = Atomic.make 0;
       hits = Atomic.make 0;
+      lockfree_hits = Atomic.make 0;
       misses = Atomic.make 0;
       invalidations = Atomic.make 0;
       evictions = Atomic.make 0;
@@ -111,6 +133,8 @@ let create cfg =
   in
   atomic "requests" "requests served" counters.requests;
   atomic "hits" "requests answered from the cache" counters.hits;
+  atomic "lockfree_hits" "hits served from the shard snapshot without locking"
+    counters.lockfree_hits;
   atomic "misses" "requests that ran an optimization" counters.misses;
   atomic "invalidations" "stale entries dropped" counters.invalidations;
   atomic "evictions" "capacity evictions" counters.evictions;
@@ -137,6 +161,10 @@ type outcome =
 
 type response = {
   plan : Relmodel.Optimizer.plan_node option;
+  plan_bytes : string option;
+      (** preformatted EXPLAIN text of [plan] for static entries,
+          rendered when the entry was cached: warm hits return it
+          without any formatting work *)
   outcome : outcome;
   parameterized : bool;
   latency_ms : float;
@@ -270,6 +298,16 @@ let record_latency t outcome parameterized dt_ms =
 
 let count_eviction t = ignore (Atomic.fetch_and_add t.counters.evictions 1)
 
+(* Snapshot writes happen under the shard lock, so the functional update
+   below has no competing writer; the atomic is for the release fence
+   that makes the new map (and the entries it points to) safe to read
+   lock-free on other domains. *)
+let snap_update shard f = Atomic.set shard.snapshot (f (Atomic.get shard.snapshot))
+
+let bytes_of_payload = function
+  | Static c -> Some (Relmodel.Optimizer.explain c.plan)
+  | Dynamic _ -> None
+
 let serve_one t w query ~required =
   (* Monotonic, not wall-clock: an NTP step mid-request must not mint a
      negative (or wildly wrong) latency sample. *)
@@ -278,21 +316,25 @@ let serve_one t w query ~required =
     Fingerprint.of_query ~parameterize:t.cfg.parameterize query ~required
   in
   let shard = shard_of t fp.Fingerprint.hash in
+  (* Warm probe against the immutable snapshot: no lock, no LRU
+     mutation, no allocation beyond the response record. *)
   let lookup =
-    Mutex.protect shard.lock (fun () ->
-        match Lru.find shard.cache fp.Fingerprint.key with
-        | None -> `Empty
-        | Some entry ->
-          if stamps_fresh t entry.stamps then begin
-            entry.serve_count <- entry.serve_count + 1;
-            `Fresh entry.payload
-          end
-          else begin
-            ignore (Lru.remove shard.cache fp.Fingerprint.key);
-            `Stale
-          end)
+    match Smap.find_opt fp.Fingerprint.key (Atomic.get shard.snapshot) with
+    | Some entry when stamps_fresh t entry.stamps ->
+      ignore (Atomic.fetch_and_add entry.serve_count 1);
+      ignore (Atomic.fetch_and_add t.counters.lockfree_hits 1);
+      `Fresh entry
+    | Some _ ->
+      (* Stale under the snapshot; drop it from both views under the
+         lock. Concurrent workers may race here — the second remove is
+         a no-op. *)
+      Mutex.protect shard.lock (fun () ->
+          ignore (Lru.remove shard.cache fp.Fingerprint.key);
+          snap_update shard (Smap.remove fp.Fingerprint.key));
+      `Stale
+    | None -> `Empty
   in
-  let finish outcome payload =
+  let finish outcome bytes payload =
     let plan, parameterized =
       match payload with
       | Some p -> plan_of_payload p fp
@@ -300,27 +342,48 @@ let serve_one t w query ~required =
     in
     let dt_ms = Obs.Clock.span_ms ~since:t0 (Obs.Clock.now_ns ()) in
     record_latency t outcome parameterized dt_ms;
-    { plan; outcome; parameterized; latency_ms = dt_ms; fingerprint = fp.Fingerprint.key }
+    {
+      plan;
+      plan_bytes = bytes;
+      outcome;
+      parameterized;
+      latency_ms = dt_ms;
+      fingerprint = fp.Fingerprint.key;
+    }
   in
   match lookup with
-  | `Fresh payload -> finish Hit (Some payload)
+  | `Fresh entry -> finish Hit entry.bytes (Some entry.payload)
   | (`Empty | `Stale) as miss ->
     (* Optimize outside the shard lock: concurrent workers missing on
        the same key duplicate work but — optimization being
        deterministic — insert identical entries. *)
     let stamps = stamps_of t fp in
     let payload = optimize_payload t w fp canonical required in
+    let bytes = Option.fold ~none:None ~some:bytes_of_payload payload in
     (match payload with
      | None -> ()
      | Some payload ->
        let entry =
-         { stamps; tables = fp.Fingerprint.tables; payload; serve_count = 0 }
+         {
+           stamps;
+           tables = fp.Fingerprint.tables;
+           payload;
+           bytes;
+           serve_count = Atomic.make 0;
+         }
        in
        let evicted =
-         Mutex.protect shard.lock (fun () -> Lru.add shard.cache fp.Fingerprint.key entry)
+         Mutex.protect shard.lock (fun () ->
+             let evicted = Lru.add shard.cache fp.Fingerprint.key entry in
+             snap_update shard (fun snap ->
+                 let snap = Smap.add fp.Fingerprint.key entry snap in
+                 match evicted with
+                 | Some (victim, _) -> Smap.remove victim snap
+                 | None -> snap);
+             evicted)
        in
        if Option.is_some evicted then count_eviction t);
-    finish (match miss with `Empty -> Miss | `Stale -> Invalidated) payload
+    finish (match miss with `Empty -> Miss | `Stale -> Invalidated) bytes payload
 
 let serve ?(workers = 1) t requests =
   let n = Array.length requests in
@@ -350,9 +413,13 @@ let invalidate_table t table =
       (fun acc shard ->
         acc
         + Mutex.protect shard.lock (fun () ->
-              List.length
-                (Lru.remove_if shard.cache (fun _ entry ->
-                     List.mem table entry.tables))))
+              let removed =
+                Lru.remove_if shard.cache (fun _ entry ->
+                    List.mem table entry.tables)
+              in
+              snap_update shard (fun snap ->
+                  List.fold_left (fun s (k, _) -> Smap.remove k s) snap removed);
+              List.length removed))
       0 t.shard_tbl
   in
   if dropped > 0 then ignore (Atomic.fetch_and_add t.counters.invalidations dropped);
@@ -372,6 +439,7 @@ type latency = {
 type metrics = {
   requests : int;
   hits : int;
+  lockfree_hits : int;
   misses : int;
   invalidations : int;
   evictions : int;
@@ -407,6 +475,7 @@ let metrics t =
   {
     requests = Atomic.get c.requests;
     hits = Atomic.get c.hits;
+    lockfree_hits = Atomic.get c.lockfree_hits;
     misses = Atomic.get c.misses;
     invalidations = Atomic.get c.invalidations;
     evictions = Atomic.get c.evictions;
@@ -419,12 +488,12 @@ let metrics t =
 
 let pp_metrics ppf m =
   Format.fprintf ppf
-    "@[<v>requests=%d hits=%d misses=%d (hit rate %.1f%%)@,\
+    "@[<v>requests=%d hits=%d (lock-free %d) misses=%d (hit rate %.1f%%)@,\
      invalidations=%d evictions=%d parameterized=%d entries=%d@,\
      warm: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
      cold: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
      search effort (misses): %a@]"
-    m.requests m.hits m.misses
+    m.requests m.hits m.lockfree_hits m.misses
     (if m.requests = 0 then 0. else 100. *. float_of_int m.hits /. float_of_int m.requests)
     m.invalidations m.evictions m.param_served m.entries m.warm.count m.warm.mean_ms
     m.warm.p50_ms m.warm.p95_ms m.warm.p99_ms m.warm.max_ms m.cold.count

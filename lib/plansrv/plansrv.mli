@@ -6,7 +6,10 @@
     ({!Fingerprint}), routed to a cache shard by key hash, and answered
     from the cache when a fresh entry exists; otherwise the worker's
     own optimizer session optimizes the canonical form, populates the
-    cache, and answers. Entries are stamped with the catalog statistics
+    cache, and answers. Warm hits are served off an immutable per-shard
+    snapshot without taking the shard lock (see
+    {!type-metrics.lockfree_hits}), so warm throughput scales with
+    serving domains instead of serializing on the shard mutexes. Entries are stamped with the catalog statistics
     versions they were optimized under and invalidated lazily when the
     statistics change. Parameterized entries delegate to {!Dynplan}
     buckets, so one cached template serves a whole range of literal
@@ -63,6 +66,11 @@ type response = {
   plan : Relmodel.Optimizer.plan_node option;
       (** the winning plan for the {e canonical} form of the query
           ([None] only when optimization itself finds no plan) *)
+  plan_bytes : string option;
+      (** preformatted EXPLAIN text of [plan], rendered once when the
+          entry was cached; warm hits hand it back without formatting
+          work. [None] for parameterized ({!Dynplan}-backed) entries,
+          whose plan depends on the literal. *)
   outcome : outcome;
   parameterized : bool;  (** answered through a {!Dynplan}-backed entry *)
   latency_ms : float;
@@ -116,6 +124,13 @@ type latency = {
 type metrics = {
   requests : int;
   hits : int;
+  lockfree_hits : int;
+      (** hits served entirely from a shard's immutable map snapshot —
+          no mutex, no LRU mutation. The warm read path is lock-free:
+          writers (misses, invalidations, evictions) publish a new
+          snapshot under the shard lock; readers only [Atomic.get] it.
+          Every warm hit takes this path, so at quiescence
+          [lockfree_hits = hits]. *)
   misses : int;
   invalidations : int;  (** stale-stamp evictions plus proactive sweeps *)
   evictions : int;  (** capacity evictions *)

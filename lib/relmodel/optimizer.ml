@@ -29,6 +29,7 @@ type request = {
   explain : bool;
   restore_columns : bool;
   domains : int;
+  scheduler : Volcano.Search.scheduler;
 }
 
 let request catalog =
@@ -46,6 +47,7 @@ let request catalog =
     explain = false;
     restore_columns = true;
     domains = 1;
+    scheduler = Volcano.Search.Stealing;
   }
 
 let rec to_physical_raw (p : plan_node) : Relalg.Physical.plan =
@@ -81,6 +83,7 @@ let make_searcher req =
       budget = S.budget ?max_tasks:req.max_tasks ?max_millis:req.max_millis ();
       tracer = req.tracer;
       explain = req.explain;
+      scheduler = req.scheduler;
     }
   in
   let opt = S.create ~config () in

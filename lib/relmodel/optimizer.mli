@@ -59,6 +59,12 @@ type request = {
       (** OCaml 5 domains for intra-query parallel search (default [1] =
           sequential). The final plan and cost are bit-identical at any
           domain count; see {!Volcano.Search.Make.run}. *)
+  scheduler : Volcano.Search.scheduler;
+      (** how the parallel phase schedules goal tasks over domains
+          (default {!Volcano.Search.Stealing}: per-domain work-stealing
+          deques with duplicate-killing claim backoff;
+          {!Volcano.Search.Seeded} is the shared-counter ablation arm).
+          No effect on the found plan. *)
 }
 
 val request : Catalog.t -> request

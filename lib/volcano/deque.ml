@@ -1,0 +1,113 @@
+(* A Chase–Lev work-stealing deque over OCaml 5 atomics.
+
+   One domain — the owner — pushes and pops at the bottom (LIFO, so the
+   owner keeps working on what it queued last), while any number of
+   thieves steal from the top (FIFO, so thieves take the oldest — in
+   the search scheduler, the largest — pending goal tasks). This is the
+   classic dynamic circular work-stealing deque of Chase and Lev
+   (SPAA 2005): [top] only ever advances (by a successful steal or by
+   the owner winning the last-element race), [bottom] is owned by the
+   owner, and the single point of inter-domain contention is one
+   compare-and-set on [top].
+
+   OCaml's [Atomic.t] gives sequentially consistent reads and writes,
+   which is stronger than the fences the original algorithm needs, so
+   the standard correctness argument applies directly:
+
+   - a cell is only reused for a new push after the buffer has wrapped,
+     which on a full buffer triggers [grow] into a fresh array — the
+     old array is never written again, so a thief that read a cell
+     from a stale buffer still read a valid value;
+   - a thief returns that value only if its CAS on [top] succeeds,
+     i.e. no other thief (and not the owner, racing for the last
+     element) consumed index [t] first — every element is therefore
+     delivered exactly once.
+
+   The buffer grows geometrically and never shrinks; deques in the
+   search scheduler live for one parallel phase, so unbounded growth is
+   not a concern. *)
+
+type 'a buffer = { mask : int; cells : 'a option Atomic.t array }
+
+type 'a t = {
+  top : int Atomic.t;  (** next index a thief will try to steal *)
+  bottom : int Atomic.t;  (** next index the owner will push at *)
+  buf : 'a buffer Atomic.t;  (** current circular buffer (owner-replaced) *)
+}
+
+type 'a steal_result =
+  | Empty  (** nothing to steal right now *)
+  | Retry  (** lost a race with another thief or the owner; try again *)
+  | Stolen of 'a
+
+let make_buffer size =
+  { mask = size - 1; cells = Array.init size (fun _ -> Atomic.make None) }
+
+let create ?(capacity = 64) () =
+  let size =
+    let rec up n = if n >= capacity || n >= max_int / 2 then n else up (n * 2) in
+    up 8
+  in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buffer size) }
+
+let put buffer i v = Atomic.set buffer.cells.(i land buffer.mask) v
+let cell buffer i = Atomic.get buffer.cells.(i land buffer.mask)
+
+(* Owner only: copy the live window [t, b) into a buffer twice the
+   size and publish it. Thieves racing on the old buffer still read
+   valid cells — the old array is frozen from here on. *)
+let grow q t b old =
+  let fresh = make_buffer (2 * (old.mask + 1)) in
+  for i = t to b - 1 do
+    put fresh i (cell old i)
+  done;
+  Atomic.set q.buf fresh;
+  fresh
+
+(* Owner only. *)
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buffer = Atomic.get q.buf in
+  let buffer = if b - t > buffer.mask then grow q t b buffer else buffer in
+  put buffer b (Some v);
+  Atomic.set q.bottom (b + 1)
+
+(* Owner only: take the most recently pushed element, racing thieves
+   for the last one. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let buffer = Atomic.get q.buf in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty: restore the canonical empty state. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then cell buffer b
+  else begin
+    (* Exactly one element left: decide it against the thieves with
+       the same CAS they use. *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then cell buffer b else None
+  end
+
+(* Any domain. *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    let v = cell (Atomic.get q.buf) t in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match v with
+      | Some v -> Stolen v
+      | None -> Empty (* unreachable: cells in [t, b) are always set *)
+    else Retry
+  end
+
+(* Linearizable only from the owner; a racy estimate elsewhere. *)
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+let is_empty q = size q = 0

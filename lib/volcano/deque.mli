@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque (SPAA 2005) over OCaml 5 atomics.
+
+    Single owner, many thieves: the owner [push]es and [pop]s at the
+    bottom in LIFO order; other domains [steal] from the top in FIFO
+    order. Every pushed element is delivered exactly once, to exactly
+    one of [pop] or [steal]. The buffer grows geometrically as needed
+    and is never shrunk. *)
+
+type 'a t
+
+type 'a steal_result =
+  | Empty  (** nothing to steal right now *)
+  | Retry  (** lost a race with another thief or the owner; try again *)
+  | Stolen of 'a
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64) is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: most recently pushed element, or [None] when empty. *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain: oldest element. [Retry] means a race was lost, not that
+    the deque is empty — callers typically retry or move to the next
+    victim. *)
+
+val size : 'a t -> int
+(** Exact from the owner, racy estimate from other domains. *)
+
+val is_empty : 'a t -> bool

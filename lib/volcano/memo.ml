@@ -9,17 +9,22 @@
     (union-find), and only the expressions referencing the dead class
     are re-indexed (each group tracks its parent expressions).
 
-    Two hash-consing fast paths keep the hot lookups off structural
-    hashing: multi-expressions carry a precomputed combined hash
-    (operator hash folded with input group ids), and optimization-goal
-    keys — (required property vector, excluding vector) pairs — are
-    interned to small integer ids, so winner, claim, in-progress, and
-    lower-bound tables are plain integer-keyed hash tables. *)
+    The whole memo is arena-shaped: groups live in one flat growable
+    array indexed by group id, multi-expressions live in one flat
+    growable array indexed by mexpr id (groups hold member/parent id
+    lists, not pointers), and optimization-goal keys — (required
+    property vector, excluding vector) pairs — are interned to small
+    sequential integer ids. Every per-group goal table (winners,
+    claims, in-progress marks, cost lower bounds) is then a flat array
+    indexed by goal id: the stepper loop's hot lookups are a bounds
+    check and an array load, with no hashing and no per-entry boxes
+    beyond the stored values themselves. *)
 
 module Make (M : Signatures.MODEL) = struct
   type group = int
 
   type mexpr = {
+    mid : int;  (** arena id; stable for the life of the memo *)
     op : M.op;
     op_h : int;  (** cached [M.op_hash op]: operators can be large *)
     mutable key_h : int;
@@ -96,8 +101,10 @@ module Make (M : Signatures.MODEL) = struct
 
   module Goal_tbl = Hashtbl.Make (Goal_key)
 
-  (** Interned-goal-id tables: the fast path for every per-group table.
-      Ids are small sequential integers, so hashing is the identity. *)
+  (** Interned-goal-id tables. The per-group goal tables themselves are
+      flat arrays now; this module remains for id-keyed side tables
+      (EXPLAIN provenance here, per-run in-progress marks in the
+      search) where population is sparse. *)
   module Id_tbl = Hashtbl.Make (struct
     type t = int
 
@@ -106,19 +113,26 @@ module Make (M : Signatures.MODEL) = struct
     let hash (i : int) = i
   end)
 
+  (* The goal-id-indexed per-group tables, as flat growable arrays.
+     [None] / [false] are the empty states; arrays grow geometrically
+     on first write past the end, and a read past the end is simply the
+     empty state (goal ids are memo-global, so most groups only ever
+     see a small prefix). *)
+
   type group_data = {
     gid : int;
     mutable parent : int;  (** union-find; self when root *)
-    mutable mexprs : mexpr list;  (** meaningful on roots only *)
-    mutable parents : mexpr list;
-        (** expressions (anywhere in the memo) using this group as input *)
+    mutable mexprs : int list;  (** member mexpr ids; meaningful on roots only *)
+    mutable parents : int list;
+        (** ids of expressions (anywhere in the memo) using this group
+            as an input *)
     mutable lprops : M.logical_props option;
-    winners : winner Id_tbl.t;  (** keyed by interned goal id *)
-    in_progress : unit Id_tbl.t;
-    claimed : unit Id_tbl.t;
+    mutable winners : winner option array;  (** indexed by interned goal id *)
+    mutable in_progress : bool array;  (** goal id on the sequential DFS path *)
+    mutable claimed : bool array;
         (** goals claimed by a parallel worker (transient, per parallel
             phase): duplicate goals dedupe instead of racing *)
-    lbounds : M.cost Id_tbl.t;
+    mutable lbounds : M.cost option array;
         (** cached {!Signatures.MODEL.cost_lower_bound} per interned
             (required, no-excluding) goal id — guided pruning consults
             the bound once per (group, requirement) *)
@@ -151,8 +165,10 @@ module Make (M : Signatures.MODEL) = struct
   let n_stripes = 64
 
   type t = {
-    mutable groups : group_data array;
+    mutable groups : group_data array;  (** group arena, indexed by group id *)
     mutable n_groups : int;
+    mutable exprs : mexpr array;  (** mexpr arena, indexed by mexpr id *)
+    mutable n_exprs : int;
     index : mexpr Expr_tbl.t;
     stats : Search_stats.t;
     stripes : Mutex.t array;
@@ -170,6 +186,8 @@ module Make (M : Signatures.MODEL) = struct
     {
       groups = [||];
       n_groups = 0;
+      exprs = [||];
+      n_exprs = 0;
       index = Expr_tbl.create 256;
       stats;
       stripes = Array.init n_stripes (fun _ -> Mutex.create ());
@@ -201,10 +219,10 @@ module Make (M : Signatures.MODEL) = struct
         mexprs = [];
         parents = [];
         lprops = None;
-        winners = Id_tbl.create 4;
-        in_progress = Id_tbl.create 4;
-        claimed = Id_tbl.create 1;
-        lbounds = Id_tbl.create 4;
+        winners = [||];
+        in_progress = [||];
+        claimed = [||];
+        lbounds = [||];
         alts = Id_tbl.create 1;
         explored = false;
         exploring = false;
@@ -220,16 +238,70 @@ module Make (M : Signatures.MODEL) = struct
     t.stats.Search_stats.groups_created <- t.stats.Search_stats.groups_created + 1;
     gid
 
+  (* Growable-array plumbing for the goal-id-indexed tables. Each
+     grower pads generously past the requested id so a group's table
+     resizes O(log n) times over a whole search. *)
+
+  let grown_len len id = max 8 (max (id + 1) (2 * len))
+
+  let ensure_winners d id =
+    let len = Array.length d.winners in
+    if id >= len then begin
+      let bigger = Array.make (grown_len len id) None in
+      Array.blit d.winners 0 bigger 0 len;
+      d.winners <- bigger
+    end
+
+  let ensure_in_progress d id =
+    let len = Array.length d.in_progress in
+    if id >= len then begin
+      let bigger = Array.make (grown_len len id) false in
+      Array.blit d.in_progress 0 bigger 0 len;
+      d.in_progress <- bigger
+    end
+
+  let ensure_claimed d id =
+    let len = Array.length d.claimed in
+    if id >= len then begin
+      let bigger = Array.make (grown_len len id) false in
+      Array.blit d.claimed 0 bigger 0 len;
+      d.claimed <- bigger
+    end
+
+  let ensure_lbounds d id =
+    let len = Array.length d.lbounds in
+    if id >= len then begin
+      let bigger = Array.make (grown_len len id) None in
+      Array.blit d.lbounds 0 bigger 0 len;
+      d.lbounds <- bigger
+    end
+
+  let get_winner d id = if id < Array.length d.winners then d.winners.(id) else None
+
   let canonical_inputs t inputs = List.map (find_root t) inputs
 
   let key_of_mexpr (m : mexpr) : Expr_key.t = (m.key_h, m.op, m.inputs)
 
+  let mexpr_of_id t i =
+    assert (i >= 0 && i < t.n_exprs);
+    t.exprs.(i)
+
+  (* Append a freshly built mexpr to the arena. *)
+  let add_expr t m =
+    if t.n_exprs = Array.length t.exprs then begin
+      let bigger = Array.make (max 64 (2 * Array.length t.exprs)) m in
+      Array.blit t.exprs 0 bigger 0 t.n_exprs;
+      t.exprs <- bigger
+    end;
+    t.exprs.(t.n_exprs) <- m;
+    t.n_exprs <- t.n_exprs + 1
+
   (* ------------------------------------------------------------------ *)
   (* Goal-key interning (hash-consing). Every (required, excluding)     *)
   (* pair the search ever forms is mapped to a small integer id, once;  *)
-  (* all per-group goal tables are then integer-keyed, so repeated      *)
-  (* lookups — and especially the lock-striped claim/publish churn of   *)
-  (* the parallel phase — stop rehashing property vectors.              *)
+  (* all per-group goal tables are then flat integer-indexed arrays, so *)
+  (* repeated lookups — and especially the lock-striped claim/publish   *)
+  (* churn of the parallel phase — stop rehashing property vectors.     *)
   (* ------------------------------------------------------------------ *)
 
   (** [intern t key] — the id of [key], allocating one on first sight.
@@ -267,13 +339,18 @@ module Make (M : Signatures.MODEL) = struct
     | Some p -> p
     | None -> invalid_arg "Memo.lprops: group has no logical properties yet"
 
-  let mexprs t g = List.filter (fun m -> not m.dead) (data t (find_root t g)).mexprs
+  let mexprs t g =
+    List.filter_map
+      (fun i ->
+        let m = t.exprs.(i) in
+        if m.dead then None else Some m)
+      (data t (find_root t g)).mexprs
 
   let register_parents t m =
     List.iter
       (fun ig ->
         let d = data t ig in
-        d.parents <- m :: d.parents)
+        d.parents <- m.mid :: d.parents)
       m.inputs
 
   (* Monotonic winner ordering, shared by class merging and by the
@@ -301,12 +378,16 @@ module Make (M : Signatures.MODEL) = struct
       da.explored <- da.explored && db.explored;
       (* Combine winner tables, keeping the better entry per goal. Goal
          ids are memo-global, so the tables merge id-for-id. *)
-      Id_tbl.iter
+      Array.iteri
         (fun id w ->
-          match Id_tbl.find_opt da.winners id with
-          | None -> Id_tbl.replace da.winners id w
-          | Some existing ->
-            if not (winner_le existing w) then Id_tbl.replace da.winners id w)
+          match w with
+          | None -> ()
+          | Some w -> (
+            ensure_winners da id;
+            match da.winners.(id) with
+            | None -> da.winners.(id) <- Some w
+            | Some existing ->
+              if not (winner_le existing w) then da.winners.(id) <- Some w))
         db.winners;
       (* Combine EXPLAIN provenance id-for-id: both classes' recorded
          alternatives describe the same (now unified) goal. *)
@@ -319,7 +400,11 @@ module Make (M : Signatures.MODEL) = struct
       (* Move b's expressions and parent links into a. Cross-group
          same-key duplicates cannot exist (insert would have merged
          instead), so b's own expressions keep their index entries. *)
-      List.iter (fun m -> if not m.dead then m.owner <- a) db.mexprs;
+      List.iter
+        (fun i ->
+          let m = t.exprs.(i) in
+          if not m.dead then m.owner <- a)
+        db.mexprs;
       da.mexprs <- da.mexprs @ db.mexprs;
       db.mexprs <- [];
       let b_parents = db.parents in
@@ -328,7 +413,8 @@ module Make (M : Signatures.MODEL) = struct
       (* Re-index every live expression that referenced b. *)
       let pending = ref [] in
       List.iter
-        (fun m ->
+        (fun i ->
+          let m = t.exprs.(i) in
           if not m.dead then begin
             Expr_tbl.remove t.index (key_of_mexpr m);
             m.inputs <- canonical_inputs t m.inputs;
@@ -368,9 +454,13 @@ module Make (M : Signatures.MODEL) = struct
     | None ->
       let g = match target with Some tgt -> find_root t tgt | None -> new_group t in
       let h, _, _ = key in
-      let m = { op; op_h; key_h = h; inputs; owner = g; applied = 0; dead = false } in
+      let m =
+        { mid = t.n_exprs; op; op_h; key_h = h; inputs; owner = g; applied = 0;
+          dead = false }
+      in
+      add_expr t m;
       let d = data t g in
-      d.mexprs <- m :: d.mexprs;
+      d.mexprs <- m.mid :: d.mexprs;
       d.explored <- false;
       Expr_tbl.replace t.index key m;
       register_parents t m;
@@ -380,11 +470,12 @@ module Make (M : Signatures.MODEL) = struct
          d.lprops <- Some (M.derive op input_props));
       g
 
-  let winner_id t g id = Id_tbl.find_opt (data t (find_root t g)).winners id
+  let winner_id t g id = get_winner (data t (find_root t g)) id
 
   let set_winner_id t g id plan bound =
     let d = data t (find_root t g) in
-    Id_tbl.replace d.winners id { w_plan = plan; w_bound = bound }
+    ensure_winners d id;
+    d.winners.(id) <- Some { w_plan = plan; w_bound = bound }
 
   let winner t g key = winner_id t g (intern t key)
 
@@ -404,10 +495,14 @@ module Make (M : Signatures.MODEL) = struct
     List.rev (Option.value (Id_tbl.find_opt d.alts id) ~default:[])
 
   (** Winner-table snapshot with materialized keys, for tests and
-      debugging (the live table is keyed by interned ids). *)
+      debugging (the live table is indexed by interned ids). *)
   let winners_alist t g : (Goal_key.t * winner) list =
     let d = data t (find_root t g) in
-    Id_tbl.fold (fun id w acc -> (t.keys.(id), w) :: acc) d.winners []
+    let out = ref [] in
+    Array.iteri
+      (fun id w -> match w with None -> () | Some w -> out := (t.keys.(id), w) :: !out)
+      d.winners;
+    !out
 
   (** [lower_bound t g required] — the model's certified cost lower
       bound for delivering [required] from group [g], cached per
@@ -416,7 +511,7 @@ module Make (M : Signatures.MODEL) = struct
     let g = find_root t g in
     let d = data t g in
     let id = intern t (required, None) in
-    match Id_tbl.find_opt d.lbounds id with
+    match if id < Array.length d.lbounds then d.lbounds.(id) else None with
     | Some c -> c
     | None ->
       let c =
@@ -424,7 +519,8 @@ module Make (M : Signatures.MODEL) = struct
         | Some props -> M.cost_lower_bound props required
         | None -> M.cost_zero
       in
-      Id_tbl.replace d.lbounds id c;
+      ensure_lbounds d id;
+      d.lbounds.(id) <- Some c;
       c
 
   (* ------------------------------------------------------------------ *)
@@ -442,7 +538,7 @@ module Make (M : Signatures.MODEL) = struct
   let winner_locked_id t g id =
     let g = find_root t g in
     Mutex.protect (stripe t g) (fun () ->
-        match Id_tbl.find_opt (data t g).winners id with
+        match get_winner (data t g) id with
         | None -> None
         | Some w -> Some { w_plan = w.w_plan; w_bound = w.w_bound })
 
@@ -452,19 +548,25 @@ module Make (M : Signatures.MODEL) = struct
       parallel worker, merging monotonically under the stripe lock:
       whichever of the existing and incoming entries {!winner_le}
       prefers survives, so racing publications commute. Returns [false]
-      when an entry already existed (a duplicated computation). *)
+      when an existing entry already subsumed the incoming one — the
+      computation that produced it was redundant; a publication that is
+      fresh or strictly improves the table returns [true]. *)
   let publish_winner_id t g id plan bound =
     let g = find_root t g in
     let incoming = { w_plan = plan; w_bound = bound } in
     Mutex.protect (stripe t g) (fun () ->
         let d = data t g in
-        match Id_tbl.find_opt d.winners id with
+        match get_winner d id with
         | None ->
-          Id_tbl.replace d.winners id incoming;
+          ensure_winners d id;
+          d.winners.(id) <- Some incoming;
           true
         | Some existing ->
-          if not (winner_le existing incoming) then Id_tbl.replace d.winners id incoming;
-          false)
+          if winner_le existing incoming then false
+          else begin
+            d.winners.(id) <- Some incoming;
+            true
+          end)
 
   let publish_winner t g key plan bound =
     publish_winner_id t g (intern_locked t key) plan bound
@@ -477,27 +579,66 @@ module Make (M : Signatures.MODEL) = struct
     let g = find_root t g in
     Mutex.protect (stripe t g) (fun () ->
         let d = data t g in
-        if Id_tbl.mem d.claimed id || Id_tbl.mem d.winners id then false
+        if
+          (id < Array.length d.claimed && d.claimed.(id))
+          || get_winner d id <> None
+        then false
         else begin
-          Id_tbl.replace d.claimed id ();
+          ensure_claimed d id;
+          d.claimed.(id) <- true;
           true
         end)
 
   let try_claim t g key = try_claim_id t g (intern_locked t key)
+
+  (** [try_acquire_id t g id] — test-and-set on the claim bit alone,
+      ignoring any recorded winner. The stealing scheduler uses it to
+      serialize {e re-optimizations}: a goal whose recorded failure
+      bound proved insufficient must be recomputed under a more
+      generous limit even though an entry exists — exactly the case
+      {!try_claim_id}'s winner check is designed to refuse. *)
+  let try_acquire_id t g id =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        if id < Array.length d.claimed && d.claimed.(id) then false
+        else begin
+          ensure_claimed d id;
+          d.claimed.(id) <- true;
+          true
+        end)
 
   (** [claim_id t g id] marks the goal claimed unconditionally (used
       when a worker starts a subgoal mid-run, so later seed grabs skip
       it). *)
   let claim_id t g id =
     let g = find_root t g in
-    Mutex.protect (stripe t g) (fun () -> Id_tbl.replace (data t g).claimed id ())
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        ensure_claimed d id;
+        d.claimed.(id) <- true)
 
   (** [is_claimed_id t g id] — whether some run claimed the goal.
       Workers consult this to wait for the claim holder's published
       winner instead of duplicating the whole subtree. *)
   let is_claimed_id t g id =
     let g = find_root t g in
-    Mutex.protect (stripe t g) (fun () -> Id_tbl.mem (data t g).claimed id)
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        id < Array.length d.claimed && d.claimed.(id))
+
+  (** [release_claim_id t g id] reopens a claimed goal. The stealing
+      scheduler releases claims when a run is abandoned mid-flight (its
+      claimed-but-unpublished goals must become claimable again, or
+      every run parked on them would stall) and when a goal is
+      finalized (the published winner, not the claim, is then the
+      authority — a later run that needs a more generous bound
+      re-claims and re-optimizes instead of parking forever). *)
+  let release_claim_id t g id =
+    let g = find_root t g in
+    Mutex.protect (stripe t g) (fun () ->
+        let d = data t g in
+        if id < Array.length d.claimed then d.claimed.(id) <- false)
 
   (** {!lower_bound} for parallel workers: the intern table is guarded
       by the intern mutex and the per-group cache by the group's
@@ -508,7 +649,7 @@ module Make (M : Signatures.MODEL) = struct
     let d = data t g in
     let id = intern_locked t (required, None) in
     Mutex.protect (stripe t g) (fun () ->
-        match Id_tbl.find_opt d.lbounds id with
+        match if id < Array.length d.lbounds then d.lbounds.(id) else None with
         | Some c -> c
         | None ->
           let c =
@@ -516,7 +657,8 @@ module Make (M : Signatures.MODEL) = struct
             | Some props -> M.cost_lower_bound props required
             | None -> M.cost_zero
           in
-          Id_tbl.replace d.lbounds id c;
+          ensure_lbounds d id;
+          d.lbounds.(id) <- Some c;
           c)
 
   (** {!record_alt} under the group's stripe lock, for parallel
@@ -529,7 +671,8 @@ module Make (M : Signatures.MODEL) = struct
       transient and never consulted by the sequential engine). *)
   let reset_claims t =
     for g = 0 to t.n_groups - 1 do
-      Id_tbl.reset t.groups.(g).claimed
+      let d = t.groups.(g) in
+      Array.fill d.claimed 0 (Array.length d.claimed) false
     done
 
   (** Fully compress union-find paths so concurrent readers of a frozen
@@ -539,11 +682,18 @@ module Make (M : Signatures.MODEL) = struct
       ignore (find_root t g : group)
     done
 
-  let in_progress t g id = Id_tbl.mem (data t (find_root t g)).in_progress id
+  let in_progress t g id =
+    let d = data t (find_root t g) in
+    id < Array.length d.in_progress && d.in_progress.(id)
 
-  let mark_in_progress t g id = Id_tbl.replace (data t (find_root t g)).in_progress id ()
+  let mark_in_progress t g id =
+    let d = data t (find_root t g) in
+    ensure_in_progress d id;
+    d.in_progress.(id) <- true
 
-  let unmark_in_progress t g id = Id_tbl.remove (data t (find_root t g)).in_progress id
+  let unmark_in_progress t g id =
+    let d = data t (find_root t g) in
+    if id < Array.length d.in_progress then d.in_progress.(id) <- false
 
   let is_explored t g = (data t (find_root t g)).explored
 
@@ -564,7 +714,9 @@ module Make (M : Signatures.MODEL) = struct
     let n = ref 0 in
     for g = 0 to t.n_groups - 1 do
       if t.groups.(g).parent = g then
-        n := !n + List.length (List.filter (fun m -> not m.dead) t.groups.(g).mexprs)
+        n :=
+          !n
+          + List.length (List.filter (fun i -> not t.exprs.(i).dead) t.groups.(g).mexprs)
     done;
     !n
 

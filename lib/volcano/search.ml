@@ -22,6 +22,30 @@
     multi-expressions in the class. For exhaustive search the two orders
     visit exactly the same plans. *)
 
+(** How the parallel phase of {!Make.run} schedules goal tasks over
+    worker domains. Kept outside the functor so callers can plumb the
+    choice without naming a model.
+
+    - [Seeded]: the original scheme — workers pull seeds from one
+      shared atomic counter, park runs that hit another worker's claim,
+      and rely on an idle-sweep liveness valve that force-duplicates a
+      blocked goal after sustained futility. Robust, but the valve
+      cascades under core oversubscription (descheduled claim holders
+      look dead), duplicating whole subtrees.
+    - [Stealing]: per-domain Chase–Lev deques ({!Deque}) over the goal
+      tasks, claim acquisition made atomic with the winner-table
+      consultation, event-driven wakeup of parked runs (a shared
+      publication tick), and claims released on publication — so
+      duplicate goal computations are killed outright instead of being
+      forced for liveness. Deadlock (a genuine cross-worker wait
+      cycle) is broken by abandoning a parked run and releasing its
+      claims — never by duplicating work.
+
+    Both schedulers publish only entries the sequential engine would
+    itself record, at the same Figure-2 limits, so the final plan is
+    bit-identical across schedulers and domain counts. *)
+type scheduler = Seeded | Stealing
+
 module Make (M : Signatures.MODEL) = struct
   module Memo = Memo.Make (M)
 
@@ -69,6 +93,10 @@ module Make (M : Signatures.MODEL) = struct
             the memo as the search abandons or completes each move, for
             {!explain}. Recording never changes pursuit order, pruning,
             or winners — only what the memo remembers about them. *)
+    scheduler : scheduler;
+        (** how {!run}'s parallel phase schedules goal tasks over
+            worker domains; no effect on the sequential engine or on
+            the found plan (see {!scheduler}) *)
   }
 
   let default_config =
@@ -79,6 +107,7 @@ module Make (M : Signatures.MODEL) = struct
       budget = unlimited;
       tracer = None;
       explain = false;
+      scheduler = Stealing;
     }
 
   (* How this searcher view accesses the shared goal state. [Seq] is
@@ -105,7 +134,19 @@ module Make (M : Signatures.MODEL) = struct
     mutable wk_force : (Memo.group * int) option;
         (** one goal this worker may compute even though it is claimed
             elsewhere — seeds it just claimed itself, and the bounded
-            duplicate-compute fallback that guarantees liveness *)
+            duplicate-compute fallback that guarantees liveness
+            (seeded scheduler only) *)
+    wk_stealing : bool;
+        (** stealing-scheduler semantics: claim acquisition is fused
+            with the winner consultation ([try_claim] instead of
+            check-then-claim), claims are released at publication, and
+            parked runs wake on {!wk_tick} instead of being polled
+            blindly *)
+    wk_tick : int Atomic.t;
+        (** shared publication tick, bumped on every worker publication
+            (and claim release): a parked run can only have become
+            runnable if the tick moved, so workers sleep on it instead
+            of sweeping their blocked queues *)
   }
 
   type mode =
@@ -158,9 +199,11 @@ module Make (M : Signatures.MODEL) = struct
   let record_winner t g id plan bound =
     match t.mode with
     | Seq -> Memo.set_winner_id t.memo g id plan bound
-    | Worker _ ->
+    | Worker ctx ->
       if not (Memo.publish_winner_id t.memo g id plan bound) then
-        t.stats.Search_stats.par_dup_goals <- t.stats.Search_stats.par_dup_goals + 1
+        t.stats.Search_stats.par_dup_goals <- t.stats.Search_stats.par_dup_goals + 1;
+      (* Wake parked runs: their blocking goal may be this one. *)
+      Atomic.incr ctx.wk_tick
 
   (* Cached group cost lower bound for a requirement (guided pruning).
      The bound is deterministic per class, so both paths observe the
@@ -480,11 +523,14 @@ module Make (M : Signatures.MODEL) = struct
   let mark_goal_in_progress run g id =
     match run.rt.mode with
     | Seq -> Memo.mark_in_progress run.rt.memo g id
-    | Worker _ ->
+    | Worker ctx ->
       Memo.Id_tbl.replace (run_marks run g) id ();
       (* Claim the goal so other workers wait for (or skip) it instead
-         of recomputing its whole subtree. *)
-      Memo.claim_id run.rt.memo g id
+         of recomputing its whole subtree. The stealing scheduler
+         already acquired the claim atomically at consultation time
+         (see [optimize_group_init]), so only the seeded scheduler
+         claims here. *)
+      if not ctx.wk_stealing then Memo.claim_id run.rt.memo g id
 
   let unmark_goal_in_progress run g id =
     match run.rt.mode with
@@ -615,6 +661,14 @@ module Make (M : Signatures.MODEL) = struct
      | None ->
        t.stats.failures <- t.stats.failures + 1;
        record_winner t g gs.gs_key_id None gs.gs_limit);
+    (* Stealing scheduler: the published entry, not the claim, is now
+       the goal's authority — release the claim so a later run that
+       needs a more generous bound can re-acquire and re-optimize
+       instead of parking on a claim nobody will ever act on again. *)
+    (match t.mode with
+     | Worker ctx when ctx.wk_stealing ->
+       Memo.release_claim_id t.memo g gs.gs_key_id
+     | _ -> ());
     goal_conclude run gs (match gs.gs_best with Some _ -> "won" | None -> "failed");
     gs.gs_slot.answer <- gs.gs_best
 
@@ -764,6 +818,12 @@ module Make (M : Signatures.MODEL) = struct
         t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
         t.stats.failures <- t.stats.failures + 1;
         record_winner t g kid None gs.gs_limit;
+        (* The stealing scheduler acquired the claim before entering;
+           the goal concluded without a [finalize_goal], so release it
+           here (the published failure is now the authority). *)
+        (match t.mode with
+         | Worker ctx when ctx.wk_stealing -> Memo.release_claim_id t.memo g kid
+         | _ -> ());
         goal_conclude run gs "pruned-lb";
         gs.gs_slot.answer <- None
       end
@@ -774,6 +834,19 @@ module Make (M : Signatures.MODEL) = struct
         push run (T_optimize_group gs);
         push run (T_explore_group g)
       end
+    in
+    (* Stealing scheduler: suspend this run on goal [(g, kid)] — the
+       claim holder will publish (and tick), at which point the re-
+       pushed consultation re-runs and is answered from the table. *)
+    let park_on ctx =
+      t.stats.Search_stats.par_dup_kills <- t.stats.Search_stats.par_dup_kills + 1;
+      push run (T_optimize_group gs);
+      goal_conclude run gs "parked";
+      ctx.wk_blocked <- Some (g, kid)
+    in
+    let count_claim () =
+      t.stats.Search_stats.par_goals_claimed <-
+        t.stats.Search_stats.par_goals_claimed + 1
     in
     match winner_for t g kid with
     | Some { w_plan = Some p; _ } ->
@@ -798,7 +871,18 @@ module Make (M : Signatures.MODEL) = struct
            gs.gs_limit <- ctx.wk_cap;
            if t.config.pruning then gs.gs_bound <- ctx.wk_cap
          | _ -> ());
-        start_optimization ()
+        match t.mode with
+        | Worker ctx when ctx.wk_stealing ->
+          (* Serialize the re-optimization on the claim bit alone
+             ([try_claim] would refuse: an entry exists by definition
+             here). The loser parks; the holder publishes at the cap,
+             which answers the re-polled consultation. *)
+          if Memo.try_acquire_id t.memo g kid then begin
+            count_claim ();
+            start_optimization ()
+          end
+          else park_on ctx
+        | _ -> start_optimization ()
       end
     | None ->
       if goal_in_progress run g kid then begin
@@ -808,6 +892,18 @@ module Make (M : Signatures.MODEL) = struct
       else begin
         match t.mode with
         | Seq -> start_optimization ()
+        | Worker ctx when ctx.wk_stealing ->
+          (* Claim acquisition is fused with the consultation: exactly
+             one run ever computes a goal (no check-then-claim window),
+             so the claim table kills duplicates outright. A failed
+             claim means the goal is being computed — park — or was
+             published between our winner read and the claim attempt —
+             the re-polled consultation then hits the fresh entry. *)
+          if Memo.try_claim_id t.memo g kid then begin
+            count_claim ();
+            start_optimization ()
+          end
+          else park_on ctx
         | Worker ctx ->
           let forced =
             match ctx.wk_force with
@@ -1592,12 +1688,20 @@ module Make (M : Signatures.MODEL) = struct
      force-computes the first blocked run's blocking goal — a bounded
      duplicate, counted in [par_dup_goals], never an error, since
      winners merge monotonically and racing publishes commute. *)
-  let par_phase t ~domains ~deadline ~cap seeds =
+  let par_phase_seeded t ~domains ~deadline ~cap seeds =
     let seeds = Array.of_list seeds in
     let next = Atomic.make 0 in
     let work widx =
       let wstats = Search_stats.create () in
-      let ctx = { wk_cap = cap; wk_blocked = None; wk_force = None } in
+      let ctx =
+        {
+          wk_cap = cap;
+          wk_blocked = None;
+          wk_force = None;
+          wk_stealing = false;
+          wk_tick = Atomic.make 0;
+        }
+      in
       (* Each worker writes spans to its own track (track 0 is the
          sequential engine); the collector merges the buffers post-run,
          so traces cover the parallel phase. *)
@@ -1707,6 +1811,200 @@ module Make (M : Signatures.MODEL) = struct
     in
     let workers = List.init domains (fun i -> Domain.spawn (fun () -> work i)) in
     List.iter (fun d -> Search_stats.merge ~into:t.stats (Domain.join d)) workers
+
+  (* The stealing scheduler (see {!scheduler}): seeds are dealt
+     round-robin into per-domain Chase–Lev deques; each worker pops its
+     own deque bottom-up (shared subgoals publish before the larger
+     goals that consult them) and steals the top — the largest pending
+     goals — from others when its own runs dry. Claim acquisition is
+     fused with the winner consultation inside [optimize_group_init],
+     so a goal is computed by exactly one run; a run that loses the
+     claim parks, and wakes when the shared publication tick moves
+     (every publish and claim release bumps it). There is no forcing
+     valve: a genuine cross-worker wait cycle — every worker idle,
+     nothing published across repeated backoffs — is broken by
+     abandoning one parked run and releasing its claims (a handful of
+     re-claimable goals), never by duplicating a computation. *)
+  let par_phase_stealing t ~domains ~deadline ~cap seeds =
+    let deques = Array.init domains (fun _ -> Deque.create ()) in
+    (* Deal bottom-up-ordered seeds round-robin, but push each share in
+       top-down order: the owner then pops bottom-up while thieves
+       steal from the top — the topmost, largest goals. *)
+    let shares = Array.make domains [] in
+    List.iteri (fun i s -> shares.(i mod domains) <- s :: shares.(i mod domains)) seeds;
+    Array.iteri (fun w share -> List.iter (Deque.push deques.(w)) share) shares;
+    let tick = Atomic.make 0 in
+    let idle = Atomic.make 0 in
+    let work widx =
+      let wstats = Search_stats.create () in
+      let ctx =
+        {
+          wk_cap = cap;
+          wk_blocked = None;
+          wk_force = None;
+          wk_stealing = true;
+          wk_tick = tick;
+        }
+      in
+      let wbuf =
+        Option.map (fun tr -> Obs.Trace.buf tr ~track:(widx + 1)) t.config.tracer
+      in
+      let wt = { t with stats = wstats; mode = Worker ctx; tr_buf = wbuf } in
+      let phase_span =
+        Option.map
+          (fun buf -> Obs.Trace.open_span buf ~cat:"phase" "parallel-worker")
+          wbuf
+      in
+      let past_deadline () =
+        match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+      in
+      (* Suspended runs, each paired with the goal it last blocked on. *)
+      let blocked : (run * (Memo.group * int)) Queue.t = Queue.create () in
+      (* Release every claim a run still holds (its in-progress marks
+         are exactly its claimed-but-unpublished goals) and bump the
+         tick so runs parked on them re-poll and re-claim. *)
+      let release_run_claims run =
+        let released = ref false in
+        Hashtbl.iter
+          (fun g tbl ->
+            Memo.Id_tbl.iter
+              (fun id () ->
+                released := true;
+                Memo.release_claim_id t.memo g id)
+              tbl)
+          run.r_marks;
+        Hashtbl.reset run.r_marks;
+        if !released then Atomic.incr tick
+      in
+      (* Step a run until it completes (true) or suspends (false). *)
+      let step_through run =
+        let rec go () =
+          ctx.wk_blocked <- None;
+          if not (step run) then true
+          else if ctx.wk_blocked = None then go ()
+          else false
+        in
+        try go ()
+        with Par_unexplored ->
+          run.r_stack <- [];
+          release_run_claims run;
+          abandon_run_spans run;
+          true
+      in
+      let abandon_run run =
+        run.r_stack <- [];
+        release_run_claims run;
+        abandon_run_spans run
+      in
+      let park run = Queue.add (run, Option.get ctx.wk_blocked) blocked in
+      let launch (g, key, limit) =
+        let required, excluded = key in
+        let goal = new_goal wt ~group:g ~required ~excluded ~limit { answer = None } in
+        let run = fresh_run wt ~root:g ~required ~limit goal in
+        push run (T_optimize_group goal);
+        if not (step_through run) then park run
+      in
+      let my = deques.(widx) in
+      (* One probe sweep over the other deques; [Retry] re-probes the
+         same victim (another thief advanced it), [Empty] moves on. *)
+      let try_steal () =
+        let res = ref None in
+        let v = ref 1 in
+        while !res = None && !v < domains do
+          match Deque.steal deques.((widx + !v) mod domains) with
+          | Deque.Stolen s ->
+            wstats.Search_stats.par_steals <- wstats.Search_stats.par_steals + 1;
+            Option.iter
+              (fun buf ->
+                (* [phase] cat: a steal is a scheduler event, not an
+                   engine task (task spans must tally with the task
+                   counters). *)
+                let sp =
+                  Obs.Trace.open_span buf ~cat:"phase"
+                    ~args:[ ("victim", string_of_int ((widx + !v) mod domains)) ]
+                    "steal"
+                in
+                Obs.Trace.close ~outcome:"stolen" sp)
+              wbuf;
+            res := Some s
+          | Deque.Retry -> ()
+          | Deque.Empty -> incr v
+        done;
+        !res
+      in
+      (* Event-driven wakeup: a parked run can only have become
+         runnable if the tick moved since we last polled (every
+         publication — and claim release — happens after the winner
+         read that parked us, so its bump is never missed). *)
+      let last_tick = ref (-1) in
+      (* Consecutive backoffs during which every worker was idle and
+         nothing published: evidence of a cross-worker wait cycle. *)
+      let futile = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        if past_deadline () then finished := true
+        else begin
+          let now = Atomic.get tick in
+          if now <> !last_tick && not (Queue.is_empty blocked) then begin
+            last_tick := now;
+            futile := 0;
+            let n = Queue.length blocked in
+            for _ = 1 to n do
+              let run, _ = Queue.pop blocked in
+              if not (step_through run) then park run
+            done
+          end;
+          match Deque.pop my with
+          | Some s ->
+            futile := 0;
+            launch s
+          | None -> (
+            match try_steal () with
+            | Some s ->
+              futile := 0;
+              launch s
+            | None ->
+              if Queue.is_empty blocked then finished := true
+              else begin
+                (* Backoff: nothing runnable. Sleep on the tick — the
+                   claim holders may share our core, and yielding is
+                   what lets them publish. *)
+                wstats.Search_stats.par_backoffs <-
+                  wstats.Search_stats.par_backoffs + 1;
+                Atomic.incr idle;
+                Unix.sleepf 0.0002;
+                let stalled =
+                  Atomic.get idle = domains && Atomic.get tick = !last_tick
+                in
+                Atomic.decr idle;
+                if stalled then incr futile else futile := 0;
+                if !futile > 25 then begin
+                  (* Every worker idle and nothing published across
+                     repeated backoffs: a wait cycle. Abandon our
+                     oldest parked run, releasing its claims (which
+                     bumps the tick and wakes the others); the goals it
+                     held are re-claimable, nothing was duplicated, and
+                     whatever is still unanswered at phase end falls to
+                     the sequential finishing pass. *)
+                  futile := 0;
+                  let run, _ = Queue.pop blocked in
+                  abandon_run run
+                end
+              end)
+        end
+      done;
+      (* Runs still parked at the deadline are being thrown away. *)
+      Queue.iter (fun (run, _) -> abandon_run run) blocked;
+      Option.iter (fun sp -> Obs.Trace.close sp) phase_span;
+      wstats
+    in
+    let workers = List.init domains (fun i -> Domain.spawn (fun () -> work i)) in
+    List.iter (fun d -> Search_stats.merge ~into:t.stats (Domain.join d)) workers
+
+  let par_phase t ~domains ~deadline ~cap seeds =
+    match t.config.scheduler with
+    | Seeded -> par_phase_seeded t ~domains ~deadline ~cap seeds
+    | Stealing -> par_phase_stealing t ~domains ~deadline ~cap seeds
 
   (** {!optimize} with intra-query parallelism. With [domains = n > 1]
       the optimization runs in four phases:

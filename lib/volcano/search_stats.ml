@@ -61,6 +61,17 @@ type t = {
   mutable memo_fastpath_hits : int;
       (** goal-key intern lookups answered by the memo's hash-consing
           table (no structural hashing or key allocation) *)
+  mutable par_steals : int;
+      (** goal tasks a worker stole from another worker's deque
+          (stealing scheduler only) *)
+  mutable par_backoffs : int;
+      (** backoff waits: a worker with only parked goals slept until
+          another worker published progress (stealing scheduler only) *)
+  mutable par_dup_kills : int;
+      (** duplicate goal computations killed outright by the claim
+          table: the goal was already being computed (or answered)
+          elsewhere, so this worker parked or skipped it instead of
+          recomputing (stealing scheduler only) *)
 }
 
 let create () =
@@ -84,6 +95,9 @@ let create () =
     goals_pruned_lb = 0;
     input_limits_tightened = 0;
     memo_fastpath_hits = 0;
+    par_steals = 0;
+    par_backoffs = 0;
+    par_dup_kills = 0;
   }
 
 let reset t =
@@ -105,7 +119,10 @@ let reset t =
   t.par_dup_goals <- 0;
   t.goals_pruned_lb <- 0;
   t.input_limits_tightened <- 0;
-  t.memo_fastpath_hits <- 0
+  t.memo_fastpath_hits <- 0;
+  t.par_steals <- 0;
+  t.par_backoffs <- 0;
+  t.par_dup_kills <- 0
 
 let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
 
@@ -128,6 +145,9 @@ let merge ~into t =
   into.goals_pruned_lb <- into.goals_pruned_lb + t.goals_pruned_lb;
   into.input_limits_tightened <- into.input_limits_tightened + t.input_limits_tightened;
   into.memo_fastpath_hits <- into.memo_fastpath_hits + t.memo_fastpath_hits;
+  into.par_steals <- into.par_steals + t.par_steals;
+  into.par_backoffs <- into.par_backoffs + t.par_backoffs;
+  into.par_dup_kills <- into.par_dup_kills + t.par_dup_kills;
   if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
 
 let diff ~since t =
@@ -150,6 +170,9 @@ let diff ~since t =
   d.goals_pruned_lb <- t.goals_pruned_lb - since.goals_pruned_lb;
   d.input_limits_tightened <- t.input_limits_tightened - since.input_limits_tightened;
   d.memo_fastpath_hits <- t.memo_fastpath_hits - since.memo_fastpath_hits;
+  d.par_steals <- t.par_steals - since.par_steals;
+  d.par_backoffs <- t.par_backoffs - since.par_backoffs;
+  d.par_dup_kills <- t.par_dup_kills - since.par_dup_kills;
   d
 
 let count_task t kind =
@@ -165,11 +188,11 @@ let pp ppf t =
   Format.fprintf ppf
     "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
      failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d \
-     lb-pruned=%d limits-tightened=%d fastpath=%d"
+     lb-pruned=%d limits-tightened=%d fastpath=%d steals=%d backoffs=%d dup-kills=%d"
     t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
     t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
     t.par_goals_claimed t.par_dup_goals t.goals_pruned_lb t.input_limits_tightened
-    t.memo_fastpath_hits
+    t.memo_fastpath_hits t.par_steals t.par_backoffs t.par_dup_kills
 
 let pp_tasks ppf t =
   Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks
@@ -202,6 +225,9 @@ let fields t =
     ("goals_pruned_lb", fun () -> t.goals_pruned_lb);
     ("input_limits_tightened", fun () -> t.input_limits_tightened);
     ("memo_fastpath_hits", fun () -> t.memo_fastpath_hits);
+    ("par_steals", fun () -> t.par_steals);
+    ("par_backoffs", fun () -> t.par_backoffs);
+    ("par_dup_kills", fun () -> t.par_dup_kills);
   ]
   @ List.map
       (fun k ->

@@ -61,6 +61,18 @@ type t = {
       (** goal-key intern lookups answered by the memo's hash-consing
           table: the goal's winner/claim tables are then addressed by a
           small integer id instead of rehashing property vectors *)
+  mutable par_steals : int;
+      (** goal tasks a worker stole from another worker's Chase–Lev
+          deque (stealing scheduler only) *)
+  mutable par_backoffs : int;
+      (** backoff waits: a worker whose runnable work was exhausted —
+          every remaining goal parked on another worker's claim — slept
+          until a publication ticked (stealing scheduler only) *)
+  mutable par_dup_kills : int;
+      (** duplicate goal computations killed outright by the claim
+          table: a goal this worker wanted was already claimed (or
+          answered) by another worker, so it parked or skipped instead
+          of recomputing (stealing scheduler only) *)
 }
 
 val create : unit -> t

@@ -23,11 +23,20 @@ let render (result : Relmodel.Optimizer.result) =
   | Some p ->
     Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
 
-let optimize_at ~domains (q : Workload.query) required =
+let optimize_at ?(scheduler = Volcano.Search.Stealing) ~domains (q : Workload.query)
+    required =
   let request =
-    { (Relmodel.Optimizer.request q.catalog) with restore_columns = false; domains }
+    {
+      (Relmodel.Optimizer.request q.catalog) with
+      restore_columns = false;
+      domains;
+      scheduler;
+    }
   in
   Relmodel.Optimizer.optimize request q.logical ~required
+
+let schedulers =
+  [ ("stealing", Volcano.Search.Stealing); ("seeded", Volcano.Search.Seeded) ]
 
 (* ------------------------------------------------------------------ *)
 (* Golden determinism: 1, 2 and 4 domains, bit-identical plans        *)
@@ -45,17 +54,53 @@ let test_golden_bit_identical () =
             true (base <> "NONE");
           List.iter
             (fun domains ->
-              Alcotest.(check string)
-                (Printf.sprintf "%s n=%d %s: %d domains bit-identical" name n rname
-                   domains)
-                base
-                (render (optimize_at ~domains q required)))
+              List.iter
+                (fun (sname, scheduler) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s n=%d %s: %d domains (%s) bit-identical" name n
+                       rname domains sname)
+                    base
+                    (render (optimize_at ~scheduler ~domains q required)))
+                schedulers)
             [ 2; 4 ])
         [
           ("any", Phys_prop.any);
           ("sorted", Phys_prop.sorted (Sort_order.asc [ List.hd q.relations ^ ".jk1" ]));
         ])
     (workloads ())
+
+(* ------------------------------------------------------------------ *)
+(* Steal-heavy stress: skewed goal sizes under the stealing scheduler *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain query's seed goals are heavily skewed — the goals at the top
+   of each deque span far more subgoals than the ones near the leaves —
+   so at 4 domains the workers that drain their own deque first must
+   steal to stay busy. The stealing scheduler must still deliver the
+   sequential plan bit-for-bit, claim at least every seed, and — the
+   invariant the claim-table backoff buys — never compute a goal in
+   duplicate. *)
+let test_steal_stress () =
+  List.iter
+    (fun (shape, name, n, seed) ->
+      let q = Workload.generate (Workload.spec ~shape ~n_relations:n ~seed ()) in
+      let base = render (optimize_at ~domains:1 q Phys_prop.any) in
+      let r = optimize_at ~scheduler:Volcano.Search.Stealing ~domains:4 q Phys_prop.any in
+      Alcotest.(check string)
+        (Printf.sprintf "%s n=%d: stealing at 4 domains bit-identical" name n)
+        base (render r);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s n=%d: search ran to completion" name n)
+        true r.complete;
+      let s = r.stats in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s n=%d: workers claimed goals" name n)
+        true
+        (s.Volcano.Search_stats.par_goals_claimed > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "%s n=%d: no goal computed in duplicate" name n)
+        0 s.Volcano.Search_stats.par_dup_goals)
+    [ (Workload.Chain, "chain", 6, 42); (Workload.Star, "star", 5, 105) ]
 
 (* ------------------------------------------------------------------ *)
 (* Claim stress: duplicate goals dedupe instead of racing             *)
@@ -172,27 +217,132 @@ let test_winner_tables_consistent () =
   Alcotest.(check bool) "some goals were compared" true (!compared > 0)
 
 (* ------------------------------------------------------------------ *)
+(* The Chase–Lev deque under the scheduler                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential linearizability against a list model: with no concurrent
+   thief, push/pop/steal must behave exactly like a two-ended queue —
+   push and pop at the bottom (LIFO), steal at the top (FIFO) — through
+   arbitrary interleavings, including ones that force buffer growth
+   (the deque starts at capacity 2 here). *)
+let prop_deque_model =
+  let gen = QCheck.Gen.(list_size (int_range 0 200) (int_range 0 2)) in
+  Helpers.qcheck_case ~count:100 "deque matches the two-ended-queue model"
+    (QCheck.make gen) (fun ops ->
+      let d = Volcano.Deque.create ~capacity:2 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+            incr counter;
+            Volcano.Deque.push d !counter;
+            model := !model @ [ !counter ];
+            true
+          | 1 -> begin
+            let expect =
+              match List.rev !model with
+              | [] -> None
+              | last :: rest ->
+                model := List.rev rest;
+                Some last
+            in
+            Volcano.Deque.pop d = expect
+          end
+          | _ -> begin
+            match Volcano.Deque.steal d, !model with
+            | Volcano.Deque.Empty, [] -> true
+            | Volcano.Deque.Stolen v, first :: rest ->
+              model := rest;
+              v = first
+            | Volcano.Deque.Empty, _ :: _
+            | Volcano.Deque.Stolen _, []
+            | Volcano.Deque.Retry, _ ->
+              (* Retry is impossible without a concurrent racer. *)
+              false
+          end)
+        ops
+      && Volcano.Deque.size d = List.length !model)
+
+(* Exactly-once delivery under real concurrency: one owner domain
+   pushes N elements (popping some along the way) while three thief
+   domains steal continuously. Every element must land in exactly one
+   domain's basket — none lost to a race, none delivered twice. *)
+let test_deque_exactly_once () =
+  let n = 20_000 in
+  let d = Volcano.Deque.create ~capacity:4 () in
+  let done_ = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    let rec loop () =
+      match Volcano.Deque.steal d with
+      | Volcano.Deque.Stolen v ->
+        got := v :: !got;
+        loop ()
+      | Volcano.Deque.Retry -> loop ()
+      | Volcano.Deque.Empty -> if not (Atomic.get done_) then loop ()
+    in
+    loop ();
+    !got
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  let owner_got = ref [] in
+  for i = 0 to n - 1 do
+    Volcano.Deque.push d i;
+    (* Pop roughly every third push so the owner races thieves at the
+       last-element boundary, the hard case of the algorithm. *)
+    if i mod 3 = 0 then
+      match Volcano.Deque.pop d with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> ()
+  done;
+  let rec drain () =
+    match Volcano.Deque.pop d with
+    | Some v ->
+      owner_got := v :: !owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_ true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = List.sort compare (stolen @ !owner_got) in
+  Alcotest.(check int) "every element delivered" n (List.length all);
+  List.iteri
+    (fun i v -> if i <> v then Alcotest.failf "element %d delivered as %d" i v)
+    all;
+  Alcotest.(check bool) "deque drained" true (Volcano.Deque.is_empty d)
+
+(* ------------------------------------------------------------------ *)
 (* Property: parallel result equals sequential on random workloads    *)
 (* ------------------------------------------------------------------ *)
 
 let prop_par_equals_seq =
   let gen =
     QCheck.Gen.(
-      quad (oneofl [ Workload.Chain; Workload.Star ]) (int_range 2 5) (int_range 0 999)
-        (int_range 2 4))
+      pair
+        (quad (oneofl [ Workload.Chain; Workload.Star ]) (int_range 2 5)
+           (int_range 0 999) (int_range 2 4))
+        (oneofl [ Volcano.Search.Stealing; Volcano.Search.Seeded ]))
   in
   Helpers.qcheck_case ~count:12 "parallel plan equals sequential"
-    (QCheck.make gen) (fun (shape, n, seed, domains) ->
+    (QCheck.make gen) (fun ((shape, n, seed, domains), scheduler) ->
       let q = Workload.generate (Workload.spec ~shape ~n_relations:n ~seed ()) in
       render (optimize_at ~domains:1 q Phys_prop.any)
-      = render (optimize_at ~domains q Phys_prop.any))
+      = render (optimize_at ~scheduler ~domains q Phys_prop.any))
 
 let suite =
   [
     Alcotest.test_case "golden plans bit-identical at 1/2/4 domains" `Quick
       test_golden_bit_identical;
+    Alcotest.test_case "steal-heavy stress: identical, complete, no duplicates" `Quick
+      test_steal_stress;
     Alcotest.test_case "duplicate goals claimed exactly once" `Quick test_claim_race;
     Alcotest.test_case "winner/failure tables consistent" `Quick
       test_winner_tables_consistent;
+    prop_deque_model;
+    Alcotest.test_case "deque delivers each element exactly once" `Quick
+      test_deque_exactly_once;
     prop_par_equals_seq;
   ]
