@@ -10,6 +10,9 @@
      dune exec bench/main.exe -- pruning smoke -- CI mode: small sizes, nonzero exit on failure
      dune exec bench/main.exe -- obs     -- observability overhead (BENCH_obs.json)
      dune exec bench/main.exe -- obs smoke -- CI mode: nonzero exit on divergence or parity break
+     dune exec bench/main.exe -- mqo     -- multi-query optimization (BENCH_mqo.json)
+     dune exec bench/main.exe -- mqo smoke -- CI mode: nonzero exit if sharing-off diverges
+                                              or a materialization raises the batch cost
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- full    -- paper-sized query counts everywhere
 
@@ -1169,6 +1172,179 @@ let obs_bench ?(smoke = false) ~full () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* MQO  Multi-query optimization (BENCH_mqo.json)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sharing-ratio arms (0%, ~30%, ~70% of the batch embedding a common
+   join/select core) crossed with the strategies: independent
+   optimization in the shared memo (off), the Volcano-SH post-pass, and
+   Volcano-RU arrival-order reuse. The off arm must be bit-identical to
+   N fresh independent optimizations at 1, 2, and 4 domains, and no
+   strategy may ever raise the batch cost above the independent
+   baseline — [smoke] exits nonzero when either property breaks. *)
+let mqo_bench ?(smoke = false) ~full () =
+  header "MQO  Multi-query optimization (shared memo, materialize/reuse)";
+  let count = if smoke then 6 else if full then 16 else 10 in
+  let n_relations = if smoke then 5 else 6 in
+  let core_relations = 3 in
+  let sharings = [ 0.0; 0.3; 0.7 ] in
+  Printf.printf
+    "Batches of %d queries over one %d-relation catalog; a sharing-ratio arm\n\
+     embeds the same selective %d-relation join core in that fraction of the\n\
+     batch. Totals are estimated plan costs (seconds); \"saved\" compares the\n\
+     batch against optimizing every query independently.\n\n"
+    count n_relations core_relations;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let make_batch sharing =
+    Workload.generate_overlapping
+      (Workload.spec ~n_relations ~seed:(seed_base + 1900) ())
+      ~count ~core_relations ~sharing ()
+  in
+  let render (plan : Relmodel.Optimizer.plan_node option) =
+    match plan with
+    | None -> "NONE"
+    | Some p ->
+      Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+  in
+  Printf.printf
+    "  sharing | strategy   | domains | wall (ms) | independent | batch    | saved | \
+     groups | mat | reuse | off identical\n";
+  Printf.printf
+    "  --------+------------+---------+-----------+-------------+----------+-------+-\
+     -------+-----+-------+--------------\n";
+  let rows =
+    List.concat_map
+      (fun sharing ->
+        (* The independent baseline for the bit-identity gate: every
+           query optimized on a fresh memo. *)
+        let baseline_batch = make_batch sharing in
+        let baseline_req = Relmodel.Optimizer.request baseline_batch.batch_catalog in
+        let baseline =
+          List.map
+            (fun q ->
+              render (Relmodel.Optimizer.optimize baseline_req q ~required:Phys_prop.any).plan)
+            baseline_batch.queries
+        in
+        let arms =
+          List.concat_map
+            (fun strategy ->
+              match strategy with
+              | Mqo.Off -> List.map (fun d -> (Mqo.Off, d)) [ 1; 2; 4 ]
+              | s -> [ (s, 1) ])
+            [ Mqo.Off; Mqo.Volcano_sh; Mqo.Volcano_ru ]
+        in
+        List.map
+          (fun (strategy, domains) ->
+            (* A fresh batch (same seed, bit-identical queries and
+               statistics) per arm: strategies register materialized
+               intermediates in the catalog, so arms must not share it. *)
+            let b = make_batch sharing in
+            let request =
+              { (Relmodel.Optimizer.request b.batch_catalog) with domains }
+            in
+            let queries = List.map (fun q -> (q, Phys_prop.any)) b.queries in
+            let dt, report =
+              time_it (fun () -> Mqo.optimize_batch ~strategy request queries)
+            in
+            let off_identical =
+              match strategy with
+              | Mqo.Off ->
+                let same =
+                  List.for_all2
+                    (fun base (qr : Mqo.query_result) -> base = render qr.Mqo.plan)
+                    baseline report.Mqo.results
+                in
+                if not same then
+                  fail
+                    "sharing %.1f: off arm at %d domains diverges from independent \
+                     optimization"
+                    sharing domains;
+                Some same
+              | _ ->
+                if report.Mqo.batch_total > report.Mqo.independent_total then
+                  fail
+                    "sharing %.1f: %s raised batch cost above the independent baseline \
+                     (%.6f > %.6f)"
+                    sharing
+                    (Mqo.strategy_name strategy)
+                    report.Mqo.batch_total report.Mqo.independent_total;
+                None
+            in
+            let saved_pct =
+              if report.Mqo.independent_total > 0. then
+                100.
+                *. (report.Mqo.independent_total -. report.Mqo.batch_total)
+                /. report.Mqo.independent_total
+              else 0.
+            in
+            Printf.printf
+              "  %6.0f%% | %-10s | %7d | %9.1f | %11.6f | %8.6f | %4.1f%% | %6d | %3d \
+               | %5d | %s\n\
+               %!"
+              (100. *. sharing)
+              (Mqo.strategy_name strategy)
+              domains (dt *. 1000.) report.Mqo.independent_total report.Mqo.batch_total
+              saved_pct report.Mqo.shared_groups report.Mqo.materialize_chosen
+              report.Mqo.reuse_hits
+              (match off_identical with
+               | Some b -> string_of_bool b
+               | None -> "-");
+            ( sharing, strategy, domains, dt *. 1000., report.Mqo.independent_total,
+              report.Mqo.batch_total, saved_pct, report.Mqo.shared_groups,
+              report.Mqo.materialize_chosen, report.Mqo.reuse_hits, off_identical ))
+          arms)
+      sharings
+  in
+  (* The headline claim: on the sharing arms, both strategies must beat
+     independent optimization strictly. Smoke keeps only the safety
+     gates (bit-identity, never-regress); the full artifact records the
+     improvement for EXPERIMENTS.md to quote. *)
+  List.iter
+    (fun (sharing, strategy, _, _, ind, batch, _, _, _, _, _) ->
+      if (not smoke) && sharing >= 0.3 && strategy <> Mqo.Off && batch >= ind then
+        fail "sharing %.1f: %s failed to improve on the independent baseline" sharing
+          (Mqo.strategy_name strategy))
+    rows;
+  let oc = open_out "BENCH_mqo.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cores\": %d,\n\
+    \  \"count\": %d,\n\
+    \  \"relations\": %d,\n\
+    \  \"core_relations\": %d,\n\
+    \  \"all_gates_pass\": %b,\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    count n_relations core_relations (!failures = [])
+    (String.concat ",\n"
+       (List.map
+          (fun
+            (sharing, strategy, domains, ms, ind, batch, saved, groups, mat, reuse, offid)
+          ->
+            Printf.sprintf
+              "    { \"sharing\": %.2f, \"strategy\": \"%s\", \"domains\": %d, \
+               \"wall_ms\": %.2f, \"independent_total\": %.17g, \"batch_total\": \
+               %.17g, \"saved_pct\": %.2f, \"mqo_shared_groups\": %d, \
+               \"mqo_materialize_chosen\": %d, \"mqo_reuse_hits\": %d%s }"
+              sharing
+              (Mqo.strategy_name strategy)
+              domains ms ind batch saved groups mat reuse
+              (match offid with
+               | Some b -> Printf.sprintf ", \"identical_to_independent\": %b" b
+               | None -> ""))
+          rows));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_mqo.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1264,5 +1440,6 @@ let () =
   if want "parsearch" then parsearch_bench ~smoke ~full ();
   if want "pruning" then pruning_bench ~smoke ~full ();
   if want "obs" then obs_bench ~smoke ~full ();
+  if want "mqo" then mqo_bench ~smoke ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -12,7 +12,10 @@
      repl      interactive SQL session with a shared optimizer memo
      serve     line-oriented optimization service over stdin or a batch
                file: fingerprinted plan cache, optional concurrent
-               workers, cache observability counters *)
+               workers, cache observability counters
+     batch     multi-query optimization over a SQL file: one shared
+               memo, common-subexpression detection, and a
+               materialize/reuse report (Volcano-SH / Volcano-RU) *)
 
 open Relalg
 
@@ -312,6 +315,24 @@ let serve_metrics srv port =
   in
   loop ()
 
+(* One SQL statement per line; blank lines and # comments are skipped. *)
+let statements_of_lines lines =
+  List.filter
+    (fun line ->
+      let line = String.trim line in
+      line <> "" && line.[0] <> '#')
+    lines
+
+let parse_statements catalog statements =
+  List.filter_map
+    (fun line ->
+      match Sqlfront.parse catalog line with
+      | exception Sqlfront.Parse_error msg ->
+        Format.eprintf "parse error (skipped): %s  -- %s@." msg line;
+        None
+      | { Sqlfront.logical; required } -> Some (line, logical, required))
+    statements
+
 let run_serve file workers capacity shards parameterize domains scheduler metrics_port =
   let catalog = demo_catalog () in
   let srv =
@@ -324,23 +345,7 @@ let run_serve file workers capacity shards parameterize domains scheduler metric
     | Some path -> In_channel.with_open_text path In_channel.input_lines
     | None -> In_channel.input_lines stdin
   in
-  let statements =
-    List.filter
-      (fun line ->
-        let line = String.trim line in
-        line <> "" && line.[0] <> '#')
-      lines
-  in
-  let parsed =
-    List.filter_map
-      (fun line ->
-        match Sqlfront.parse catalog line with
-        | exception Sqlfront.Parse_error msg ->
-          Format.eprintf "parse error (skipped): %s  -- %s@." msg line;
-          None
-        | { Sqlfront.logical; required } -> Some (line, logical, required))
-      statements
-  in
+  let parsed = parse_statements catalog (statements_of_lines lines) in
   if parsed = [] then begin
     Format.eprintf "no statements to serve@.";
     1
@@ -382,6 +387,81 @@ let run_serve file workers capacity shards parameterize domains scheduler metric
       serve_metrics srv port
   end
 
+(* Multi-query optimization over a SQL file: every statement goes into
+   one shared memo (through the plan service's sharded cache), common
+   subexpressions are detected by per-subtree fingerprints, and the
+   selected strategy decides which shared results to materialize once
+   and rescan instead of recomputing per consumer. *)
+let run_batch file strategy capacity shards domains scheduler metrics_out =
+  let catalog = demo_catalog () in
+  let lines = In_channel.with_open_text file In_channel.input_lines in
+  let parsed = parse_statements catalog (statements_of_lines lines) in
+  if parsed = [] then begin
+    Format.eprintf "no statements to optimize@.";
+    1
+  end
+  else begin
+    let srv =
+      Plansrv.create
+        (Plansrv.config ~capacity ~shards
+           { (Relmodel.Optimizer.request catalog) with domains; scheduler })
+    in
+    let w = Plansrv.worker srv in
+    let queries = List.map (fun (_, logical, required) -> (logical, required)) parsed in
+    let report, _responses = Mqo.serve_batch ~strategy srv w queries in
+    Format.printf "Batch of %d statements, strategy %s:@.@." (List.length parsed)
+      (Mqo.strategy_name report.strategy);
+    List.iteri
+      (fun i (line, _, _) ->
+        let qr = List.nth report.results i in
+        let reused =
+          match qr.Mqo.reused with
+          | [] -> ""
+          | names -> "  reuses " ^ String.concat ", " names
+        in
+        Format.printf "[%d] independent %-14s batch %-14s%s@.    %s@." i
+          (Cost.to_string qr.Mqo.independent_cost)
+          (Cost.to_string qr.Mqo.final_cost)
+          reused line;
+        match qr.Mqo.plan with
+        | None -> Format.printf "    no plan@."
+        | Some plan -> Format.printf "%s@." (Relmodel.Optimizer.explain plan))
+      parsed;
+    if report.shared = [] then
+      Format.printf "@.No shared subexpressions across the batch.@."
+    else begin
+      Format.printf "@.Shared subexpressions (%d spanning 2+ queries):@."
+        report.shared_groups;
+      List.iter
+        (fun (s : Mqo.shared) ->
+          Format.printf "  %s  over %s@."
+            (if s.chosen then "MATERIALIZE " ^ s.mat_name else "recompute")
+            (String.concat " * " s.relations);
+          (match s.producer with
+           | Some q -> Format.printf "    producer: query %d@." q
+           | None -> ());
+          Format.printf "    consumers: %s@."
+            (String.concat ", " (List.map string_of_int s.consumers));
+          Format.printf "    compute %s  write %s  read %s@."
+            (Cost.to_string s.compute) (Cost.to_string s.write) (Cost.to_string s.read))
+        report.shared
+    end;
+    let saved = report.independent_total -. report.batch_total in
+    Format.printf "@.Independent total: %.6f s@." report.independent_total;
+    Format.printf "Batch total:       %.6f s@." report.batch_total;
+    Format.printf "Saved:             %.6f s (%.1f%%)@." saved
+      (if report.independent_total > 0. then 100. *. saved /. report.independent_total
+       else 0.);
+    Format.printf "Sharing: %d shared groups, %d materialized, %d reuse sites@."
+      report.shared_groups report.materialize_chosen report.reuse_hits;
+    Option.iter
+      (fun path ->
+        Obs.Json.write_file path (Obs.Metrics.to_json (Plansrv.registry srv));
+        Format.eprintf "wrote %s@." path)
+      metrics_out;
+    0
+  end
+
 let run_workload n seed =
   let spec = Workload.spec ~n_relations:n ~seed () in
   let q = Workload.generate spec in
@@ -411,6 +491,30 @@ let pos_int =
     | None -> Error (`Msg (Printf.sprintf "expected a positive count, got %S" s))
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+(* A query file must exist, be readable, and contain at least one
+   statement — checked up front on `batch` and `serve` so a typo'd or
+   empty path is a spelled-out usage error, not a late failure. *)
+let query_file =
+  let parse path =
+    match In_channel.with_open_text path In_channel.input_lines with
+    | exception Sys_error e -> Error (`Msg (Printf.sprintf "unreadable query file: %s" e))
+    | lines ->
+      let statements =
+        List.filter
+          (fun line ->
+            let line = String.trim line in
+            line <> "" && line.[0] <> '#')
+          lines
+      in
+      if statements = [] then
+        Error
+          (`Msg
+            (Printf.sprintf "query file %s is empty (no statements, only blanks/comments)"
+               path))
+      else Ok path
+  in
+  Arg.conv ~docv:"FILE" (parse, Format.pp_print_string)
 
 let scheduler_conv =
   Arg.enum
@@ -559,9 +663,11 @@ let serve_cmd =
   let file =
     Arg.(
       value
-      & opt (some file) None
+      & opt (some query_file) None
       & info [ "file"; "f" ] ~docv:"FILE"
-          ~doc:"Read SQL statements (one per line, # comments) from $(docv) instead of stdin.")
+          ~doc:
+            "Read SQL statements (one per line, # comments) from $(docv) instead of \
+             stdin. The file must be readable and contain at least one statement.")
   in
   let workers =
     Arg.(
@@ -611,6 +717,73 @@ let serve_cmd =
       const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains
       $ scheduler_arg $ metrics_port)
 
+let batch_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some query_file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "SQL statements to optimize as one batch (one per line, # comments). The \
+             file must be readable and contain at least one statement.")
+  in
+  let strategy =
+    let strategy_conv =
+      let parse s =
+        match Mqo.strategy_of_string s with
+        | Some st -> Ok st
+        | None ->
+          Error
+            (`Msg (Printf.sprintf "unknown strategy %S (expected off, sh, or ru)" s))
+      in
+      Arg.conv ~docv:"STRATEGY"
+        (parse, fun ppf s -> Format.pp_print_string ppf (Mqo.strategy_name s))
+    in
+    Arg.(
+      value
+      & opt strategy_conv Mqo.Volcano_sh
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Sharing strategy: $(b,sh) (Volcano-SH: cost-based post-pass over the \
+             independently-optimal plans; the default), $(b,ru) (Volcano-RU: \
+             reuse-aware re-optimization in arrival order), or $(b,off) (independent \
+             optimization in the shared memo — bit-identical plans, no sharing).")
+  in
+  let capacity =
+    Arg.(
+      value & opt pos_int 512
+      & info [ "capacity" ] ~docv:"N" ~doc:"Total plan-cache entries across all shards.")
+  in
+  let shards =
+    Arg.(
+      value & opt pos_int 8
+      & info [ "shards" ] ~docv:"N" ~doc:"Independently locked cache shards.")
+  in
+  let domains =
+    Arg.(
+      value & opt pos_int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"OCaml domains per optimization (intra-query parallel search).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the service's metrics registry (cache counters plus merged search \
+             effort, including the $(b,mqo_*) counters) to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Multi-query optimization: load a SQL file into one shared memo, detect \
+          common subexpressions, and materialize/reuse shared results when that \
+          lowers the batch cost")
+    Term.(
+      const run_batch $ file $ strategy $ capacity $ shards $ domains $ scheduler_arg
+      $ metrics_out)
+
 let workload_cmd =
   let n =
     Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of input relations (2-10).")
@@ -629,4 +802,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ optimize_cmd; explain_cmd; tables_cmd; workload_cmd; repl_cmd; serve_cmd ]))
+          [
+            optimize_cmd;
+            explain_cmd;
+            tables_cmd;
+            workload_cmd;
+            repl_cmd;
+            serve_cmd;
+            batch_cmd;
+          ]))

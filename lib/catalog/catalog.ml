@@ -11,6 +11,7 @@ type table = {
   stored_order : Relalg.Sort_order.t;
   stored_partitioning : Relalg.Phys_prop.partitioning;
   mutable indexes : string list list;
+  materialized : bool;
 }
 
 type t = {
@@ -47,11 +48,73 @@ let add registry ~name ~schema ?(stored_order = [])
       stored_order;
       stored_partitioning;
       indexes = [];
+      materialized = false;
     }
   in
   Hashtbl.add registry.tables name table;
   bump registry;
   table
+
+(* A derived relation backing a shared materialized intermediate: no
+   stored tuples, statistics synthesized from the logical properties of
+   the expression it caches, so property derivation and selectivity over
+   it mirror the original subexpression. Column names keep their
+   original qualification so predicates above the replaced subtree still
+   resolve. *)
+let add_materialized registry ~name ~(props : Relalg.Logical_props.t)
+    ?(stored_order = []) () =
+  if Hashtbl.mem registry.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add_materialized: table %S already exists" name);
+  let columns =
+    Array.to_list props.schema
+    |> List.map (fun (a : Relalg.Schema.attribute) ->
+           let n_distinct =
+             match Relalg.Logical_props.distinct_raw props a.name with
+             | Some d -> Float.min d props.card
+             | None -> props.card
+           in
+           let min_value, max_value =
+             match Relalg.Logical_props.range_of props a.name with
+             | Some (lo, hi) ->
+               let v x =
+                 match a.ty with
+                 | Relalg.Schema.TInt -> Relalg.Value.Int (Float.to_int x)
+                 | _ -> Relalg.Value.Float x
+               in
+               (Some (v lo), Some (v hi))
+             | None -> (None, None)
+           in
+           ( a.name,
+             {
+               Stats.n_distinct;
+               null_count = 0.;
+               min_value;
+               max_value;
+               histogram = None;
+             } ))
+  in
+  let table =
+    {
+      name;
+      schema = props.schema;
+      tuples = [||];
+      stats = { Stats.row_count = props.card; columns };
+      stats_version = 0;
+      stored_order;
+      stored_partitioning = Relalg.Phys_prop.Singleton;
+      indexes = [];
+      materialized = true;
+    }
+  in
+  Hashtbl.add registry.tables name table;
+  bump registry;
+  table
+
+let remove registry name =
+  if Hashtbl.mem registry.tables name then begin
+    Hashtbl.remove registry.tables name;
+    bump registry
+  end
 
 let find registry name = Hashtbl.find registry.tables name
 

@@ -23,6 +23,10 @@ type table = {
       (** clustered-style indexes: each entry is a key-column list; an
           index delivers its key order and supports range scans on its
           leading column *)
+  materialized : bool;
+      (** a derived relation registered by the multi-query optimizer to
+          stand for a shared materialized intermediate; has no stored
+          tuples, and [Get] over it implements as [Scan_materialized] *)
 }
 
 type t
@@ -40,6 +44,27 @@ val add :
 (** Register a relation; schema column names are qualified with the
     table name if not already. Statistics are computed immediately.
     @raise Invalid_argument if the name is already taken. *)
+
+val add_materialized :
+  t ->
+  name:string ->
+  props:Relalg.Logical_props.t ->
+  ?stored_order:Relalg.Sort_order.t ->
+  unit ->
+  table
+(** Register a derived relation standing for a materialized shared
+    intermediate (multi-query optimization). It stores no tuples;
+    statistics are synthesized from [props] — the logical properties of
+    the subexpression it caches — so cardinality and selectivity
+    estimates over it match the original subexpression. Column names
+    keep their original qualification, so predicates written against
+    the replaced subtree still resolve. Bumps the catalog version.
+    @raise Invalid_argument if the name is already taken. *)
+
+val remove : t -> string -> unit
+(** Drop a relation (no-op when absent); bumps the catalog version when
+    something was removed. Used to retract materialized intermediates
+    that did not pay off. *)
 
 val find : t -> string -> table
 (** @raise Not_found *)

@@ -28,9 +28,11 @@ let aggregate_schema input keys aggs =
 let rec of_plan (table_schema : string -> Schema.t) (p : Physical.plan) : Schema.t =
   let child i = of_plan table_schema (List.nth p.children i) in
   match p.alg with
-  | Physical.Table_scan t | Physical.Index_scan (t, _, _) -> table_schema t
+  | Physical.Table_scan t | Physical.Index_scan (t, _, _) | Physical.Scan_materialized t ->
+    table_schema t
   | Physical.Filter _ | Physical.Sort _ | Physical.Hash_dedup | Physical.Sort_dedup _
-  | Physical.Repartition _ | Physical.Gather | Physical.Merge_gather _ ->
+  | Physical.Repartition _ | Physical.Gather | Physical.Merge_gather _
+  | Physical.Materialize _ ->
     child 0
   | Physical.Project_cols cols -> Schema.project (child 0) cols
   | Physical.Nested_loop_join _ | Physical.Merge_join _ | Physical.Hash_join _ ->

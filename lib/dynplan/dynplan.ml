@@ -47,7 +47,8 @@ let subst_alg ~witness ~actual (alg : Physical.alg) : Physical.alg =
   | Physical.Sort_dedup _ | Physical.Repartition _ | Physical.Gather
   | Physical.Merge_gather _ | Physical.Merge_union | Physical.Hash_union
   | Physical.Merge_intersect | Physical.Hash_intersect | Physical.Merge_difference
-  | Physical.Hash_difference | Physical.Stream_aggregate _ | Physical.Hash_aggregate _ ->
+  | Physical.Hash_difference | Physical.Stream_aggregate _ | Physical.Hash_aggregate _
+  | Physical.Materialize _ | Physical.Scan_materialized _ ->
     alg
 
 let instantiate (plan : Relmodel.Optimizer.plan_node) ~witness ~actual : Physical.plan =

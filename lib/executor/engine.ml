@@ -647,6 +647,12 @@ let rec compile ctx (p : Physical.plan) : Cursor.t =
   | Physical.Hash_difference -> hash_semi ~anti:true (child 0) (child 1)
   | Physical.Stream_aggregate (keys, aggs) -> stream_aggregate keys aggs (child 0)
   | Physical.Hash_aggregate (keys, aggs) -> hash_aggregate keys aggs (child 0)
+  | Physical.Materialize _ ->
+    (* The single-node simulation keeps every intermediate in memory, so
+       the materialize write is identity at execution time (its cost,
+       not its data flow, is modeled — like the exchanges above). *)
+    child 0
+  | Physical.Scan_materialized name -> table_scan ctx name
 
 let run ?page_bytes ?memory_pages catalog plan =
   let ctx = context ?page_bytes ?memory_pages catalog in

@@ -84,6 +84,31 @@ let rec canonicalize (e : Logical.expr) : Logical.expr =
     Logical.mk e.Logical.op [ l; r ]
   | op, inputs -> Logical.mk op inputs
 
+(* ---------- per-subtree keys (multi-query sharing) ---------- *)
+
+(* Bottom-up keys over the canonical form. Each node's key is built from
+   its children's keys (the same construction as [encode], so
+   [fst (List.nth (subtrees q) i)] = [encode] of that canonical
+   subtree), making the walk near-linear instead of quadratic. Emitted
+   in post-order: children strictly before parents. *)
+let subtrees query =
+  let canonical = canonicalize query in
+  let acc = ref [] in
+  let rec go (e : Logical.expr) : string =
+    let child_keys = List.map go e.Logical.inputs in
+    let key =
+      match child_keys with
+      | [] -> Logical.op_name e.Logical.op
+      | ks -> Logical.op_name e.Logical.op ^ "(" ^ String.concat "," ks ^ ")"
+    in
+    acc := (key, e) :: !acc;
+    key
+  in
+  ignore (go canonical);
+  List.rev !acc
+
+let expr_key e = encode (canonicalize e)
+
 (* ---------- parameter slots ---------- *)
 
 let is_numeric = function

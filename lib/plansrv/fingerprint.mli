@@ -43,6 +43,18 @@ val of_query :
     numeric literal compared against a column — otherwise the literal
     stays in the key. *)
 
+val subtrees : Relalg.Logical.expr -> (string * Relalg.Logical.expr) list
+(** Per-subtree fingerprint keys for multi-query sharing: canonicalize
+    the whole expression, then emit [(key, canonical_subtree)] for every
+    node, bottom-up (children strictly before parents). Keys are built
+    from child keys, so the walk is near-linear. Two subtrees — from the
+    same or different queries — receive equal keys iff their canonical
+    forms are equal. *)
+
+val expr_key : Relalg.Logical.expr -> string
+(** The canonical serialization of one expression: equal to the key
+    {!subtrees} assigns it as a subtree of any enclosing query. *)
+
 val with_parameter :
   Relalg.Logical.expr -> Relalg.Value.t -> Relalg.Logical.expr
 (** Replace the unique parameterizable literal (see {!of_query}) with a

@@ -152,6 +152,15 @@ let create cfg =
 
 let registry t = t.registry
 
+let service_request t = t.cfg.request
+
+(* Extra search effort performed on behalf of the service but outside
+   [serve_one] — e.g. the multi-query batch optimizer's re-optimization
+   passes — folded into the same merged view the registry exports. *)
+let note_search t delta =
+  Mutex.protect t.stats_lock (fun () ->
+      Volcano.Search_stats.merge ~into:t.counters.search delta)
+
 let shard_of t hash = t.shard_tbl.(hash mod Array.length t.shard_tbl)
 
 type outcome =

@@ -153,6 +153,16 @@ val pp_metrics : Format.formatter -> metrics -> unit
 (** Multi-line operator-facing rendering: hit rate, latency profiles
     (mean, quantiles, max), and the merged search effort. *)
 
+val service_request : t -> Relmodel.Optimizer.request
+(** The optimizer request the service was configured with (shared by
+    {!Mqo}'s batch entry point to run its re-optimization passes under
+    the same configuration). *)
+
+val note_search : t -> Volcano.Search_stats.t -> unit
+(** Fold a search-effort delta performed on behalf of the service but
+    outside {!serve_one} — e.g. the multi-query batch optimizer's
+    passes — into the merged view {!metrics} and {!registry} export. *)
+
 val registry : t -> Obs.Metrics.registry
 (** The service's metrics registry: every counter above as a gauge
     ([plansrv_*]), warm/cold latency histograms

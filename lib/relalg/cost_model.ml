@@ -110,6 +110,15 @@ let cost p (alg : Physical.alg) ~(inputs : Logical_props.t list) ~(output : Logi
   | Physical.Hash_aggregate _ ->
     let i = in1 () in
     Cost.make ~io:0. ~cpu:((i.card *. p.cpu_hash) +. (out_card *. p.cpu_tuple))
+  | Physical.Materialize _ ->
+    (* Write the stream to the shared temporary once; the tuples still
+       flow through to the parent, so only the write I/O and a per-tuple
+       copy are extra. *)
+    let i = in1 () in
+    Cost.make ~io:(pages p i *. p.io_time) ~cpu:(i.card *. p.cpu_tuple)
+  | Physical.Scan_materialized _ ->
+    (* Read the stored intermediate back, same shape as a table scan. *)
+    scan_cost p output
 
 let rec plan_cost p ~props_of (plan : Physical.plan) =
   let local =

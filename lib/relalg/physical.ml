@@ -21,6 +21,8 @@ type alg =
   | Hash_difference
   | Stream_aggregate of string list * Logical.agg list
   | Hash_aggregate of string list * Logical.agg list
+  | Materialize of string
+  | Scan_materialized of string
 
 type plan = {
   alg : alg;
@@ -28,9 +30,9 @@ type plan = {
 }
 
 let arity = function
-  | Table_scan _ | Index_scan _ -> 0
+  | Table_scan _ | Index_scan _ | Scan_materialized _ -> 0
   | Filter _ | Project_cols _ | Sort _ | Hash_dedup | Sort_dedup _ | Repartition _
-  | Gather | Merge_gather _ | Stream_aggregate _ | Hash_aggregate _ -> 1
+  | Gather | Merge_gather _ | Stream_aggregate _ | Hash_aggregate _ | Materialize _ -> 1
   | Nested_loop_join _ | Merge_join _ | Hash_join _ | Hash_join_project _ | Merge_union
   | Hash_union | Merge_intersect | Hash_intersect | Merge_difference | Hash_difference -> 2
 
@@ -43,7 +45,7 @@ let is_enforcer = function
   | Table_scan _ | Index_scan _ | Filter _ | Project_cols _ | Nested_loop_join _
   | Merge_join _ | Hash_join _ | Hash_join_project _ | Merge_union | Hash_union
   | Merge_intersect | Hash_intersect | Merge_difference | Hash_difference
-  | Stream_aggregate _ | Hash_aggregate _ -> false
+  | Stream_aggregate _ | Hash_aggregate _ | Materialize _ | Scan_materialized _ -> false
 
 let keys_to_string keys =
   String.concat ", " (List.map (fun (l, r) -> l ^ "=" ^ r) keys)
@@ -75,6 +77,8 @@ let alg_name = function
   | Hash_difference -> "hash_difference"
   | Stream_aggregate (keys, _) -> "stream_aggregate[" ^ String.concat ", " keys ^ "]"
   | Hash_aggregate (keys, _) -> "hash_aggregate[" ^ String.concat ", " keys ^ "]"
+  | Materialize t -> "materialize(" ^ t ^ ")"
+  | Scan_materialized t -> "scan_materialized(" ^ t ^ ")"
 
 let rec size p = 1 + List.fold_left (fun acc c -> acc + size c) 0 p.children
 

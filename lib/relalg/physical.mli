@@ -44,6 +44,14 @@ type alg =
   | Stream_aggregate of string list * Logical.agg list
       (** requires input sorted by the grouping keys *)
   | Hash_aggregate of string list * Logical.agg list
+  | Materialize of string
+      (** multi-query sharing: write the input stream once to the named
+          temporary, passing the tuples through unchanged; consumers read
+          it back with [Scan_materialized] *)
+  | Scan_materialized of string
+      (** read a result previously written by [Materialize]; costs like a
+          scan of the (usually small) shared intermediate instead of
+          recomputing it *)
 
 type plan = {
   alg : alg;

@@ -4,7 +4,8 @@ let derive_alg catalog (alg : Physical.alg) (inputs : Logical_props.t list) :
     Logical_props.t =
   let child i = List.nth inputs i in
   match alg with
-  | Physical.Table_scan t -> Catalog.base_props (Catalog.find catalog t)
+  | Physical.Table_scan t | Physical.Scan_materialized t ->
+    Catalog.base_props (Catalog.find catalog t)
   | Physical.Index_scan (t, _, pred) ->
     Derive.op catalog (Logical.Select pred) [ Catalog.base_props (Catalog.find catalog t) ]
   | Physical.Filter pred -> Derive.op catalog (Logical.Select pred) [ child 0 ]
@@ -16,7 +17,7 @@ let derive_alg catalog (alg : Physical.alg) (inputs : Logical_props.t list) :
     Derive.op catalog (Logical.Project cols)
       [ Derive.op catalog (Logical.Join pred) [ child 0; child 1 ] ]
   | Physical.Sort _ -> child 0
-  | Physical.Hash_dedup | Physical.Sort_dedup _ -> child 0
+  | Physical.Hash_dedup | Physical.Sort_dedup _ | Physical.Materialize _ -> child 0
   | Physical.Repartition _ | Physical.Gather | Physical.Merge_gather _ -> child 0
   | Physical.Merge_union | Physical.Hash_union ->
     Derive.op catalog Logical.Union [ child 0; child 1 ]

@@ -290,6 +290,20 @@ let make ~catalog ?(params = Cost_model.default) ?(flags = default_flags) () :
         }
       | Physical.Hash_aggregate _ ->
         { Phys_prop.order = []; distinct = true; partitioning = (in1 ()).Phys_prop.partitioning }
+      | Physical.Materialize _ ->
+        (* A tee: tuples flow through to the parent in the same order,
+           distribution, and multiplicity while a copy is written out. *)
+        in1 ()
+      | Physical.Scan_materialized t -> begin
+        match Catalog.find_opt catalog t with
+        | Some tbl ->
+          {
+            Phys_prop.order = tbl.stored_order;
+            distinct = false;
+            partitioning = tbl.stored_partitioning;
+          }
+        | None -> Phys_prop.any
+      end
 
     (* Partitioned execution divides an operator's work across the
        workers; exchanges that funnel everything to one site do not
@@ -439,7 +453,13 @@ let make ~catalog ?(params = Cost_model.default) ?(flags = default_flags) () :
         i_apply =
           (fun ~lookup:_ ~required:_ binding ->
             match binding with
-            | Rule.Node (Logical.Get t, []) -> [ choice (Physical.Table_scan t) [] [ [] ] ]
+            | Rule.Node (Logical.Get t, []) ->
+              let alg =
+                match Catalog.find_opt catalog t with
+                | Some tbl when tbl.materialized -> Physical.Scan_materialized t
+                | _ -> Physical.Table_scan t
+              in
+              [ choice alg [] [ [] ] ]
             | _ -> []);
       }
 

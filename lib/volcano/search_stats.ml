@@ -72,6 +72,15 @@ type t = {
           table: the goal was already being computed (or answered)
           elsewhere, so this worker parked or skipped it instead of
           recomputing (stealing scheduler only) *)
+  mutable mqo_shared_groups : int;
+      (** logical subexpressions that occurred in two or more queries of
+          a batch (multi-query optimization) *)
+  mutable mqo_materialize_chosen : int;
+      (** shared subexpressions the batch search decided to materialize
+          once and reuse *)
+  mutable mqo_reuse_hits : int;
+      (** consumer sites rewritten to read a materialized shared result
+          instead of recomputing it *)
 }
 
 let create () =
@@ -98,6 +107,9 @@ let create () =
     par_steals = 0;
     par_backoffs = 0;
     par_dup_kills = 0;
+    mqo_shared_groups = 0;
+    mqo_materialize_chosen = 0;
+    mqo_reuse_hits = 0;
   }
 
 let reset t =
@@ -122,7 +134,10 @@ let reset t =
   t.memo_fastpath_hits <- 0;
   t.par_steals <- 0;
   t.par_backoffs <- 0;
-  t.par_dup_kills <- 0
+  t.par_dup_kills <- 0;
+  t.mqo_shared_groups <- 0;
+  t.mqo_materialize_chosen <- 0;
+  t.mqo_reuse_hits <- 0
 
 let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
 
@@ -148,6 +163,9 @@ let merge ~into t =
   into.par_steals <- into.par_steals + t.par_steals;
   into.par_backoffs <- into.par_backoffs + t.par_backoffs;
   into.par_dup_kills <- into.par_dup_kills + t.par_dup_kills;
+  into.mqo_shared_groups <- into.mqo_shared_groups + t.mqo_shared_groups;
+  into.mqo_materialize_chosen <- into.mqo_materialize_chosen + t.mqo_materialize_chosen;
+  into.mqo_reuse_hits <- into.mqo_reuse_hits + t.mqo_reuse_hits;
   if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
 
 let diff ~since t =
@@ -173,6 +191,9 @@ let diff ~since t =
   d.par_steals <- t.par_steals - since.par_steals;
   d.par_backoffs <- t.par_backoffs - since.par_backoffs;
   d.par_dup_kills <- t.par_dup_kills - since.par_dup_kills;
+  d.mqo_shared_groups <- t.mqo_shared_groups - since.mqo_shared_groups;
+  d.mqo_materialize_chosen <- t.mqo_materialize_chosen - since.mqo_materialize_chosen;
+  d.mqo_reuse_hits <- t.mqo_reuse_hits - since.mqo_reuse_hits;
   d
 
 let count_task t kind =
@@ -188,11 +209,13 @@ let pp ppf t =
   Format.fprintf ppf
     "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
      failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d \
-     lb-pruned=%d limits-tightened=%d fastpath=%d steals=%d backoffs=%d dup-kills=%d"
+     lb-pruned=%d limits-tightened=%d fastpath=%d steals=%d backoffs=%d dup-kills=%d \
+     mqo-shared=%d mqo-mat=%d mqo-reuse=%d"
     t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
     t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
     t.par_goals_claimed t.par_dup_goals t.goals_pruned_lb t.input_limits_tightened
-    t.memo_fastpath_hits t.par_steals t.par_backoffs t.par_dup_kills
+    t.memo_fastpath_hits t.par_steals t.par_backoffs t.par_dup_kills t.mqo_shared_groups
+    t.mqo_materialize_chosen t.mqo_reuse_hits
 
 let pp_tasks ppf t =
   Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks
@@ -228,6 +251,9 @@ let fields t =
     ("par_steals", fun () -> t.par_steals);
     ("par_backoffs", fun () -> t.par_backoffs);
     ("par_dup_kills", fun () -> t.par_dup_kills);
+    ("mqo_shared_groups", fun () -> t.mqo_shared_groups);
+    ("mqo_materialize_chosen", fun () -> t.mqo_materialize_chosen);
+    ("mqo_reuse_hits", fun () -> t.mqo_reuse_hits);
   ]
   @ List.map
       (fun k ->

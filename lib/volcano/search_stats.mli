@@ -73,6 +73,15 @@ type t = {
           table: a goal this worker wanted was already claimed (or
           answered) by another worker, so it parked or skipped instead
           of recomputing (stealing scheduler only) *)
+  mutable mqo_shared_groups : int;
+      (** logical subexpressions that occurred in two or more queries of
+          a batch (multi-query optimization) *)
+  mutable mqo_materialize_chosen : int;
+      (** shared subexpressions the batch search decided to materialize
+          once and reuse across consumers *)
+  mutable mqo_reuse_hits : int;
+      (** consumer sites rewritten to read a materialized shared result
+          instead of recomputing it *)
 }
 
 val create : unit -> t

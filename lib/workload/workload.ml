@@ -119,3 +119,102 @@ let generate spec =
 
 let generate_batch spec ~count =
   List.init count (fun i -> generate { spec with seed = spec.seed + (i * 7919) })
+
+(* ---------- overlapping batches (multi-query optimization) ---------- *)
+
+type batch = {
+  batch_catalog : Catalog.t;
+  queries : Logical.expr list;
+  core : Logical.expr option;
+  core_relations : string list;
+}
+
+(* The shared core subtree: a chain join over the core relations with
+   fixed, selective selections. Deterministic — no generator draws — so
+   every query that embeds it embeds the bit-identical subexpression
+   and per-subtree fingerprints unify them. The tight selections keep
+   the core's result small relative to its input scans, which is the
+   regime where materializing once and rescanning beats recomputing. *)
+let core_subtree names =
+  let leaf name =
+    Logical.select Expr.(col (name ^ ".val") <=% int 99) (Logical.get name)
+  in
+  match names with
+  | [] -> invalid_arg "Workload.core_subtree: no relations"
+  | first :: rest ->
+    let _, expr =
+      List.fold_left
+        (fun (prev, acc) name ->
+          (name, Logical.join Expr.(col (prev ^ ".jk1") =% col (name ^ ".jk1")) acc (leaf name)))
+        (first, leaf first) rest
+    in
+    expr
+
+(* Like [core_subtree] but with per-query random selections: the same
+   shape over the same relations, yet canonically distinct — the
+   sharing-off control arm. *)
+let private_core rng names =
+  match names with
+  | [] -> invalid_arg "Workload.private_core: no relations"
+  | first :: rest ->
+    let leaf name = Logical.select (selection_predicate rng name) (Logical.get name) in
+    let _, expr =
+      List.fold_left
+        (fun (prev, acc) name ->
+          (name, Logical.join Expr.(col (prev ^ ".jk1") =% col (name ^ ".jk1")) acc (leaf name)))
+        (first, leaf first) rest
+    in
+    expr
+
+let generate_overlapping spec ~count ?(core_relations = 2) ~sharing () =
+  if count < 1 then invalid_arg "Workload.generate_overlapping: count must be >= 1";
+  if sharing < 0. || sharing > 1. then
+    invalid_arg "Workload.generate_overlapping: sharing must be within [0, 1]";
+  if core_relations < 1 || core_relations >= spec.n_relations then
+    invalid_arg
+      "Workload.generate_overlapping: need 1 <= core_relations < n_relations";
+  let rng = Random.State.make [| spec.seed; 0x0ecca51a |] in
+  let catalog, names = build_catalog rng spec in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let rec drop n = function
+    | _ :: rest when n > 0 -> drop (n - 1) rest
+    | l -> l
+  in
+  let core_names = take core_relations names in
+  let pool = Array.of_list (drop core_relations names) in
+  let core = core_subtree core_names in
+  let n_share = int_of_float ((sharing *. float_of_int count) +. 0.5) in
+  let last_core = List.nth core_names (core_relations - 1) in
+  let queries =
+    List.init count (fun i ->
+        let base = if i < n_share then core else private_core rng core_names in
+        (* One or two private relations joined onto the core chain, with
+           per-query selections — the non-shared part of each query. *)
+        let extras = 1 + Random.State.int rng (min 2 (Array.length pool)) in
+        let picks =
+          let chosen = ref [] in
+          while List.length !chosen < extras do
+            let p = pool.(Random.State.int rng (Array.length pool)) in
+            if not (List.mem p !chosen) then chosen := p :: !chosen
+          done;
+          List.rev !chosen
+        in
+        let _, expr =
+          List.fold_left
+            (fun (prev, acc) name ->
+              let leaf = Logical.select (selection_predicate rng name) (Logical.get name) in
+              ( name,
+                Logical.join Expr.(col (prev ^ ".jk1") =% col (name ^ ".jk1")) acc leaf ))
+            (last_core, base) picks
+        in
+        expr)
+  in
+  {
+    batch_catalog = catalog;
+    queries;
+    core = (if n_share > 0 then Some core else None);
+    core_relations = core_names;
+  }

@@ -34,3 +34,30 @@ val generate : spec -> query
 val generate_batch : spec -> count:int -> query list
 (** [count] queries with distinct derived seeds (the paper optimizes 50
     queries per complexity level). *)
+
+(** {1 Overlapping batches}
+
+    Workloads for multi-query optimization: [count] queries over {e one}
+    shared catalog, a controllable fraction of which embed a common
+    join/select core subtree (bit-identical across those queries, so
+    per-subtree fingerprints unify it), each extended with per-query
+    private relations and selections. *)
+
+type batch = {
+  batch_catalog : Catalog.t;  (** the one catalog all queries run against *)
+  queries : Relalg.Logical.expr list;
+  core : Relalg.Logical.expr option;
+      (** the injected shared subtree; [None] when [sharing] rounded to
+          zero queries *)
+  core_relations : string list;  (** relations spanned by the core *)
+}
+
+val generate_overlapping :
+  spec -> count:int -> ?core_relations:int -> sharing:float -> unit -> batch
+(** [generate_overlapping spec ~count ~sharing ()] emits [count]
+    queries of which [round (sharing * count)] embed the shared core (a
+    selective chain join over [core_relations] relations, default 2);
+    the rest use the same relations with per-query selections, so the
+    control arm has the same shape but no cross-query subexpressions.
+    @raise Invalid_argument unless [0 <= sharing <= 1],
+    [count >= 1], and [1 <= core_relations < spec.n_relations]. *)
