@@ -5,6 +5,10 @@
                optimized plan, search statistics; optionally execute it,
                compare with the EXODUS-style baseline, trace the search
                (--trace, --trace-out), or export metrics (--metrics-out)
+     run       optimize and execute; --feedback instruments the execution
+               with per-node cardinality counters, reports drift against
+               the optimizer's estimates, and corrects the catalog
+               statistics (--skew injects a known estimation error)
      explain   optimize and print winner provenance: per-node costs,
                producing rules, and losing alternatives with reasons
      tables    list the demo catalog
@@ -201,6 +205,122 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
        end);
     0
 
+let print_rows tuples schema io =
+  Format.printf "Result (%d rows; io: %a):@." (Array.length tuples)
+    Executor.Io_stats.pp io;
+  Format.printf "%s@." (String.concat " | " (Schema.names schema));
+  Array.iteri (fun i t -> if i < 20 then Format.printf "%a@." Tuple.pp t) tuples;
+  if Array.length tuples > 20 then
+    Format.printf "... (%d more rows)@." (Array.length tuples - 20)
+
+let path_label = function
+  | [] -> "root"
+  | p -> String.concat "." (List.map string_of_int p)
+
+let print_feedback_report (r : Feedback.report) =
+  Format.printf "Feedback: %d nodes observed, %d drifted (threshold %.1fx)%s@."
+    (List.length r.nodes) (List.length r.drifted) r.threshold
+    (if r.escaped then Printf.sprintf "; escaped, %d replan(s)" r.replans else "");
+  List.iter
+    (fun (n : Feedback.node_obs) ->
+      Format.printf "  drift [%s] %s: estimated %.0f, observed %d (%.1fx) over %s@."
+        (path_label n.path) n.alg n.estimated n.observed n.ratio
+        (String.concat ", " n.relations))
+    r.drifted;
+  List.iter
+    (fun (c : Feedback.correction) ->
+      Format.printf "  corrected %s (stats v%d): %s@." c.table c.stats_version c.detail)
+    r.corrections
+
+(* Doctor a table's claimed row count without touching its data: the
+   instrument panel for demonstrating the feedback loop against a known
+   estimation error. *)
+let apply_skews catalog skews =
+  List.iter
+    (fun (table, factor) ->
+      match Catalog.find_opt catalog table with
+      | None -> Format.eprintf "skew: unknown table %s (ignored)@." table
+      | Some tbl ->
+        let s = tbl.Catalog.stats in
+        let rc = Float.max 1. (s.Catalog.Stats.row_count *. factor) in
+        let stats =
+          {
+            Catalog.Stats.row_count = rc;
+            columns =
+              List.map
+                (fun (c, (cs : Catalog.Stats.column_stats)) ->
+                  ( c,
+                    {
+                      cs with
+                      Catalog.Stats.n_distinct =
+                        Float.max 1. (Float.min cs.Catalog.Stats.n_distinct rc);
+                    } ))
+                s.Catalog.Stats.columns;
+          }
+        in
+        Catalog.update_stats catalog ~table ~stats ();
+        Format.eprintf "skew: %s claimed row count %.0f -> %.0f (data unchanged)@."
+          table s.Catalog.Stats.row_count rc)
+    skews
+
+(* RUN: optimize and execute. Without --feedback this is the plain
+   optimize-then-execute path, bit-identical to `optimize -x`; with it,
+   execution is instrumented, drift is reported, and the catalog learns. *)
+let run_run sql feedback drift_out escape_k threshold no_correct max_replans skews
+    domains scheduler =
+  let catalog = demo_catalog () in
+  apply_skews catalog skews;
+  match Sqlfront.parse catalog sql with
+  | exception Sqlfront.Parse_error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    1
+  | { logical; required } ->
+    let request =
+      { (Relmodel.Optimizer.request catalog) with domains; scheduler }
+    in
+    if not feedback then begin
+      let result = Relmodel.Optimizer.optimize request logical ~required in
+      match result.plan with
+      | None ->
+        Format.printf "No plan found within the cost limit.@.";
+        1
+      | Some plan ->
+        Format.printf "Plan (estimated cost %s):@.%s@.@." (Cost.to_string plan.cost)
+          (Relmodel.Optimizer.explain plan);
+        let tuples, schema, io =
+          Executor.run catalog (Relmodel.Optimizer.to_physical plan)
+        in
+        print_rows tuples schema io;
+        0
+    end
+    else begin
+      let config =
+        Feedback.config ~drift_threshold:threshold ?escape_factor:escape_k
+          ~correct:(not no_correct) ~max_replans ()
+      in
+      match Feedback.run ~config request logical ~required with
+      | exception Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        1
+      | outcome ->
+        Format.printf "Plan (estimated cost %s):@.%s@.@."
+          (Cost.to_string outcome.plan.cost)
+          (Relmodel.Optimizer.explain outcome.plan);
+        print_rows outcome.tuples outcome.schema outcome.io;
+        Format.printf "@.";
+        print_feedback_report outcome.report;
+        Format.printf "Measured work: %.0f@."
+          (Feedback.measured_work
+             (Relmodel.Optimizer.to_physical outcome.plan)
+             outcome.report.nodes ~io:outcome.io);
+        Option.iter
+          (fun path ->
+            Obs.Json.write_file path (Feedback.report_to_json outcome.report);
+            Format.eprintf "wrote %s@." path)
+          drift_out;
+        0
+    end
+
 (* EXPLAIN: optimize with alternative recording on and print the winner
    provenance tree — per-node costs, producing rules, and the losing
    alternatives of every goal with the reason each lost. *)
@@ -333,8 +453,31 @@ let parse_statements catalog statements =
       | { Sqlfront.logical; required } -> Some (line, logical, required))
     statements
 
-let run_serve file workers capacity shards parameterize domains scheduler metrics_port =
+let print_response line (r : Plansrv.response) =
+  let outcome =
+    match r.Plansrv.outcome with
+    | Plansrv.Hit -> "HIT"
+    | Plansrv.Miss -> "MISS"
+    | Plansrv.Invalidated -> "STALE"
+  in
+  let cost =
+    match r.Plansrv.plan with
+    | Some plan -> Cost.to_string plan.cost
+    | None -> "no plan"
+  in
+  let fp =
+    if String.length r.Plansrv.fingerprint <= 32 then r.Plansrv.fingerprint
+    else String.sub r.Plansrv.fingerprint 0 32 ^ "..."
+  in
+  Format.printf "%-5s %8.3f ms  cost %-14s %s%s  [%s]@." outcome r.Plansrv.latency_ms
+    cost
+    (if r.Plansrv.parameterized then "param " else "")
+    line fp
+
+let run_serve file workers capacity shards parameterize feedback skews domains
+    scheduler metrics_port =
   let catalog = demo_catalog () in
+  apply_skews catalog skews;
   let srv =
     Plansrv.create
       (Plansrv.config ~capacity ~shards ~parameterize
@@ -351,33 +494,46 @@ let run_serve file workers capacity shards parameterize domains scheduler metric
     1
   end
   else begin
-    let requests =
-      Array.of_list (List.map (fun (_, logical, required) -> (logical, required)) parsed)
-    in
-    let responses = Plansrv.serve ~workers srv requests in
-    List.iteri
-      (fun i (line, _, _) ->
-        let r = responses.(i) in
-        let outcome =
-          match r.Plansrv.outcome with
-          | Plansrv.Hit -> "HIT"
-          | Plansrv.Miss -> "MISS"
-          | Plansrv.Invalidated -> "STALE"
-        in
-        let cost =
+    if feedback then begin
+      (* Feedback serving is the closed loop, one statement at a time:
+         serve a plan, execute it instrumented, install corrections —
+         and let the bumped statistics stamps turn the next arrival of
+         an affected query into a STALE re-optimization. *)
+      if workers > 1 then
+        Format.eprintf "feedback serving is sequential; ignoring --workers %d@." workers;
+      let w = Plansrv.worker srv in
+      let fb_config = Feedback.config () in
+      let request = Plansrv.service_request srv in
+      List.iter
+        (fun (line, logical, required) ->
+          let r = Plansrv.serve_one srv w logical ~required in
+          print_response line r;
           match r.Plansrv.plan with
-          | Some plan -> Cost.to_string plan.cost
-          | None -> "no plan"
-        in
-        let fp =
-          if String.length r.Plansrv.fingerprint <= 32 then r.Plansrv.fingerprint
-          else String.sub r.Plansrv.fingerprint 0 32 ^ "..."
-        in
-        Format.printf "%-5s %8.3f ms  cost %-14s %s%s  [%s]@." outcome
-          r.Plansrv.latency_ms cost
-          (if r.Plansrv.parameterized then "param " else "")
-          line fp)
-      parsed;
+          | None -> ()
+          | Some plan ->
+            let outcome = Feedback.run_plan ~config:fb_config request logical ~required plan in
+            Plansrv.note_search srv outcome.Feedback.report.Feedback.stats;
+            let rep = outcome.Feedback.report in
+            if rep.Feedback.drifted <> [] then
+              Format.printf "      FEEDBACK %d/%d nodes drifted (threshold %.1fx)@."
+                (List.length rep.Feedback.drifted)
+                (List.length rep.Feedback.nodes)
+                rep.Feedback.threshold;
+            List.iter
+              (fun (c : Feedback.correction) ->
+                Format.printf "      FEEDBACK corrected %s -> stats v%d (%s)@." c.table
+                  c.stats_version c.detail)
+              rep.Feedback.corrections)
+        parsed
+    end
+    else begin
+      let requests =
+        Array.of_list
+          (List.map (fun (_, logical, required) -> (logical, required)) parsed)
+      in
+      let responses = Plansrv.serve ~workers srv requests in
+      List.iteri (fun i (line, _, _) -> print_response line responses.(i)) parsed
+    end;
     Format.printf "@.%a@." Plansrv.pp_metrics (Plansrv.metrics srv);
     match metrics_port with
     | None -> 0
@@ -624,6 +780,100 @@ let optimize_cmd =
       $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out $ explain
       $ domains $ scheduler_arg)
 
+let skew_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i -> begin
+      let table = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt rest with
+      | Some f when f > 0. && table <> "" -> Ok (table, f)
+      | _ ->
+        Error (`Msg (Printf.sprintf "expected TABLE:FACTOR with FACTOR > 0, got %S" s))
+    end
+    | None -> Error (`Msg (Printf.sprintf "expected TABLE:FACTOR, got %S" s))
+  in
+  Arg.conv ~docv:"TABLE:FACTOR" (parse, fun ppf (t, f) -> Format.fprintf ppf "%s:%g" t f)
+
+let skew_arg =
+  Arg.(
+    value
+    & opt_all skew_conv []
+    & info [ "skew" ] ~docv:"TABLE:FACTOR"
+        ~doc:
+          "Multiply $(b,TABLE)'s claimed row count by $(b,FACTOR) before optimizing \
+           (the stored data is untouched), injecting a known estimation error for \
+           the feedback loop to discover. Repeatable.")
+
+let run_cmd =
+  let feedback =
+    Arg.(
+      value & flag
+      & info [ "feedback" ]
+          ~doc:
+            "Instrument the execution with per-node cardinality counters, report \
+             estimate-vs-actual drift, and correct the catalog statistics the drift \
+             incriminates (bumping their versions, so cached plans invalidate). \
+             Without this flag the command is plain optimize-then-execute with \
+             bit-identical results.")
+  in
+  let drift_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drift-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the drift report to $(docv) as JSON: per-node estimated vs \
+             observed cardinalities, q-errors, corrections installed, and the \
+             $(b,feedback_*) counters (validate with $(b,validate_obs drift)).")
+  in
+  let escape_k =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "escape-k" ] ~docv:"K"
+          ~doc:
+            "Arm the mid-query escape hatch: abort as soon as any node's observed \
+             cardinality exceeds K times its estimate, correct the offending \
+             statistic, and re-optimize (at most $(b,--max-replans) times). With \
+             exact estimates the hatch never fires. K must be >= 1.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 2.
+      & info [ "drift-threshold" ] ~docv:"Q"
+          ~doc:
+            "q-error at or above which a node counts as drifted and feeds a \
+             correction; must be >= 1 (1 flags every inexact estimate).")
+  in
+  let no_correct =
+    Arg.(
+      value & flag
+      & info [ "no-correct" ]
+          ~doc:"Observe and report drift only; leave the catalog statistics alone.")
+  in
+  let max_replans =
+    Arg.(
+      value & opt int 1
+      & info [ "max-replans" ] ~docv:"N"
+          ~doc:"Escape-hatch re-optimization budget (the final attempt always runs \
+                to completion).")
+  in
+  let domains =
+    Arg.(
+      value & opt pos_int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains for the search.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Optimize and execute a SQL statement; with $(b,--feedback), observe \
+          actual per-node cardinalities, report drift against the optimizer's \
+          estimates, and feed corrections back into the catalog")
+    Term.(
+      const run_run $ sql_arg $ feedback $ drift_out $ escape_k $ threshold
+      $ no_correct $ max_replans $ skew_arg $ domains $ scheduler_arg)
+
 let explain_cmd =
   let no_pruning =
     Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable branch-and-bound pruning.")
@@ -710,12 +960,23 @@ let serve_cmd =
              registry on 127.0.0.1:$(docv): $(b,/metrics) (Prometheus text) and \
              $(b,/metrics.json).")
   in
+  let feedback =
+    Arg.(
+      value & flag
+      & info [ "feedback" ]
+          ~doc:
+            "Close the loop: execute every served plan with cardinality \
+             instrumentation, correct drifted catalog statistics, and let the bumped \
+             statistics versions invalidate affected cache entries — a repeated \
+             query goes MISS, then STALE (re-optimized against corrected stats), \
+             then HIT. Forces sequential serving.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
     Term.(
-      const run_serve $ file $ workers $ capacity $ shards $ parameterize $ domains
-      $ scheduler_arg $ metrics_port)
+      const run_serve $ file $ workers $ capacity $ shards $ parameterize $ feedback
+      $ skew_arg $ domains $ scheduler_arg $ metrics_port)
 
 let batch_cmd =
   let file =
@@ -804,6 +1065,7 @@ let () =
        (Cmd.group ~default info
           [
             optimize_cmd;
+            run_cmd;
             explain_cmd;
             tables_cmd;
             workload_cmd;

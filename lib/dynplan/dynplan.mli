@@ -67,3 +67,6 @@ val execute :
 (** Choose, instantiate, run. *)
 
 val n_distinct_plans : t -> int
+(** Number of structurally distinct plans across the buckets — [1]
+    means the optimizer's choice is parameter-insensitive over the
+    whole range and the dynamic plan degenerates to the static one. *)

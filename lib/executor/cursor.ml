@@ -55,6 +55,20 @@ let map_stream schema f input =
     close = input.close;
   }
 
+let observed ?(at_end = fun () -> ()) f input =
+  {
+    input with
+    next =
+      (fun () ->
+        match input.next () with
+        | Some t as r ->
+          f t;
+          r
+        | None ->
+          at_end ();
+          None);
+  }
+
 let filter_stream keep input =
   let rec next () =
     match input.next () with

@@ -606,8 +606,10 @@ let stream_aggregate keys aggs (input : Cursor.t) : Cursor.t =
 (* Plan compilation                                                        *)
 (* ---------------------------------------------------------------------- *)
 
-let rec compile ctx (p : Physical.plan) : Cursor.t =
-  let child i = compile ctx (List.nth p.children i) in
+(* One node's operator over already-compiled inputs ([child i] compiles
+   the i-th input). Shared by the plain and the instrumented compiler,
+   so the two paths cannot diverge. *)
+let compile_node ctx ~child (p : Physical.plan) : Cursor.t =
   match p.alg with
   | Physical.Table_scan name -> table_scan ctx name
   | Physical.Index_scan (name, cols, pred) -> index_scan ctx name cols pred
@@ -653,6 +655,26 @@ let rec compile ctx (p : Physical.plan) : Cursor.t =
        not its data flow, is modeled — like the exchanges above). *)
     child 0
   | Physical.Scan_materialized name -> table_scan ctx name
+
+let rec compile ctx (p : Physical.plan) : Cursor.t =
+  compile_node ctx ~child:(fun i -> compile ctx (List.nth p.children i)) p
+
+(* Feedback hook: like [compile], but [observe] wraps every node's
+   cursor (typically with [Cursor.observed] counters). [path] is the
+   node's position in the plan tree — [[]] at the root, [path @ [i]]
+   for the i-th child — matching [Feedback]'s drift-report keys. *)
+let compile_instrumented ctx
+    ~(observe : path:int list -> Physical.plan -> Cursor.t -> Cursor.t)
+    (p : Physical.plan) : Cursor.t =
+  let rec go rev_path p =
+    let raw =
+      compile_node ctx
+        ~child:(fun i -> go (i :: rev_path) (List.nth p.Physical.children i))
+        p
+    in
+    observe ~path:(List.rev rev_path) p raw
+  in
+  go [] p
 
 let run ?page_bytes ?memory_pages catalog plan =
   let ctx = context ?page_bytes ?memory_pages catalog in

@@ -81,6 +81,18 @@ type t = {
   mutable mqo_reuse_hits : int;
       (** consumer sites rewritten to read a materialized shared result
           instead of recomputing it *)
+  mutable feedback_runs : int;
+      (** instrumented executions completed by the feedback loop *)
+  mutable feedback_nodes_observed : int;
+      (** plan nodes whose actual output cardinality was recorded *)
+  mutable feedback_drift_nodes : int;
+      (** observed nodes whose q-error reached the drift threshold *)
+  mutable feedback_corrections : int;
+      (** per-table statistics corrections installed in the catalog *)
+  mutable feedback_escapes : int;
+      (** mid-query escape-hatch aborts (observed > k x estimated) *)
+  mutable feedback_replans : int;
+      (** re-optimizations triggered by the feedback loop *)
 }
 
 let create () =
@@ -110,6 +122,12 @@ let create () =
     mqo_shared_groups = 0;
     mqo_materialize_chosen = 0;
     mqo_reuse_hits = 0;
+    feedback_runs = 0;
+    feedback_nodes_observed = 0;
+    feedback_drift_nodes = 0;
+    feedback_corrections = 0;
+    feedback_escapes = 0;
+    feedback_replans = 0;
   }
 
 let reset t =
@@ -137,7 +155,13 @@ let reset t =
   t.par_dup_kills <- 0;
   t.mqo_shared_groups <- 0;
   t.mqo_materialize_chosen <- 0;
-  t.mqo_reuse_hits <- 0
+  t.mqo_reuse_hits <- 0;
+  t.feedback_runs <- 0;
+  t.feedback_nodes_observed <- 0;
+  t.feedback_drift_nodes <- 0;
+  t.feedback_corrections <- 0;
+  t.feedback_escapes <- 0;
+  t.feedback_replans <- 0
 
 let copy t = { t with tasks_by_kind = Array.copy t.tasks_by_kind }
 
@@ -166,6 +190,12 @@ let merge ~into t =
   into.mqo_shared_groups <- into.mqo_shared_groups + t.mqo_shared_groups;
   into.mqo_materialize_chosen <- into.mqo_materialize_chosen + t.mqo_materialize_chosen;
   into.mqo_reuse_hits <- into.mqo_reuse_hits + t.mqo_reuse_hits;
+  into.feedback_runs <- into.feedback_runs + t.feedback_runs;
+  into.feedback_nodes_observed <- into.feedback_nodes_observed + t.feedback_nodes_observed;
+  into.feedback_drift_nodes <- into.feedback_drift_nodes + t.feedback_drift_nodes;
+  into.feedback_corrections <- into.feedback_corrections + t.feedback_corrections;
+  into.feedback_escapes <- into.feedback_escapes + t.feedback_escapes;
+  into.feedback_replans <- into.feedback_replans + t.feedback_replans;
   if t.stack_hwm > into.stack_hwm then into.stack_hwm <- t.stack_hwm
 
 let diff ~since t =
@@ -194,6 +224,12 @@ let diff ~since t =
   d.mqo_shared_groups <- t.mqo_shared_groups - since.mqo_shared_groups;
   d.mqo_materialize_chosen <- t.mqo_materialize_chosen - since.mqo_materialize_chosen;
   d.mqo_reuse_hits <- t.mqo_reuse_hits - since.mqo_reuse_hits;
+  d.feedback_runs <- t.feedback_runs - since.feedback_runs;
+  d.feedback_nodes_observed <- t.feedback_nodes_observed - since.feedback_nodes_observed;
+  d.feedback_drift_nodes <- t.feedback_drift_nodes - since.feedback_drift_nodes;
+  d.feedback_corrections <- t.feedback_corrections - since.feedback_corrections;
+  d.feedback_escapes <- t.feedback_escapes - since.feedback_escapes;
+  d.feedback_replans <- t.feedback_replans - since.feedback_replans;
   d
 
 let count_task t kind =
@@ -210,12 +246,14 @@ let pp ppf t =
     "goals=%d hits=%d misses=%d groups=%d mexprs=%d firings=%d plans=%d enforcers=%d \
      failures=%d pruned=%d merges=%d tasks=%d hwm=%d par-claimed=%d par-dup=%d \
      lb-pruned=%d limits-tightened=%d fastpath=%d steals=%d backoffs=%d dup-kills=%d \
-     mqo-shared=%d mqo-mat=%d mqo-reuse=%d"
+     mqo-shared=%d mqo-mat=%d mqo-reuse=%d fb-runs=%d fb-observed=%d fb-drift=%d \
+     fb-corrections=%d fb-escapes=%d fb-replans=%d"
     t.goals t.goal_hits t.goal_misses t.groups_created t.mexprs_created t.rule_firings
     t.plans_costed t.enforcer_moves t.failures t.pruned t.merges t.tasks t.stack_hwm
     t.par_goals_claimed t.par_dup_goals t.goals_pruned_lb t.input_limits_tightened
     t.memo_fastpath_hits t.par_steals t.par_backoffs t.par_dup_kills t.mqo_shared_groups
-    t.mqo_materialize_chosen t.mqo_reuse_hits
+    t.mqo_materialize_chosen t.mqo_reuse_hits t.feedback_runs t.feedback_nodes_observed
+    t.feedback_drift_nodes t.feedback_corrections t.feedback_escapes t.feedback_replans
 
 let pp_tasks ppf t =
   Format.fprintf ppf "tasks=%d (%s) hwm=%d" t.tasks
@@ -254,6 +292,12 @@ let fields t =
     ("mqo_shared_groups", fun () -> t.mqo_shared_groups);
     ("mqo_materialize_chosen", fun () -> t.mqo_materialize_chosen);
     ("mqo_reuse_hits", fun () -> t.mqo_reuse_hits);
+    ("feedback_runs", fun () -> t.feedback_runs);
+    ("feedback_nodes_observed", fun () -> t.feedback_nodes_observed);
+    ("feedback_drift_nodes", fun () -> t.feedback_drift_nodes);
+    ("feedback_corrections", fun () -> t.feedback_corrections);
+    ("feedback_escapes", fun () -> t.feedback_escapes);
+    ("feedback_replans", fun () -> t.feedback_replans);
   ]
   @ List.map
       (fun k ->

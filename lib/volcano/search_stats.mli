@@ -82,6 +82,25 @@ type t = {
   mutable mqo_reuse_hits : int;
       (** consumer sites rewritten to read a materialized shared result
           instead of recomputing it *)
+  mutable feedback_runs : int;
+      (** instrumented executions completed by the runtime feedback loop
+          ({!Feedback}): plans run with per-node cardinality observers *)
+  mutable feedback_nodes_observed : int;
+      (** plan nodes whose actual output cardinality was recorded during
+          an instrumented execution *)
+  mutable feedback_drift_nodes : int;
+      (** observed nodes whose q-error (max(obs,est)/min(obs,est), both
+          clamped below at 1) reached the configured drift threshold *)
+  mutable feedback_corrections : int;
+      (** per-table statistics corrections the feedback loop installed
+          through [Catalog.update_stats], each bumping that table's
+          stats version (and thereby invalidating stale cached plans) *)
+  mutable feedback_escapes : int;
+      (** mid-query escape-hatch aborts: a node's observed cardinality
+          blew past its estimate by the configured k factor *)
+  mutable feedback_replans : int;
+      (** re-optimizations triggered by the feedback loop, whether from
+          an escape-hatch abort or an explicit post-correction re-entry *)
 }
 
 val create : unit -> t

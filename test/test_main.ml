@@ -25,5 +25,6 @@ let () =
       ("mqo", Suite_mqo.suite);
       ("oomodel", Suite_oomodel.suite);
       ("obs", Suite_obs.suite);
+      ("feedback", Suite_feedback.suite);
       ("e2e", Suite_e2e.suite);
     ]

@@ -7,6 +7,7 @@
    Usage:
      validate_obs trace FILE       Chrome trace event file
      validate_obs metrics FILE     metrics snapshot (counters/gauges/histograms)
+     validate_obs drift FILE       drift report from [volcano-cli run --feedback]
      validate_obs bench FILE...    benchmark reports (non-empty JSON objects) *)
 
 let fail fmt =
@@ -102,6 +103,86 @@ let validate_metrics path =
   Printf.printf "OK %s: %d gauges, %d histograms\n" path (List.length gauges)
     (List.length histograms)
 
+(* A drift report from [volcano-cli run --feedback --drift-out]: a
+   threshold >= 1, a non-empty nodes array whose entries each carry
+   path/alg/estimated/observed/ratio/complete with ratio >= 1, exactly
+   one observation per distinct path with the root ([]) present,
+   corrections with table/detail/stats_version, and every feedback_*
+   counter from the metric glossary under "stats". *)
+let validate_drift path =
+  let j = load path in
+  (match num_field "drift_threshold" j with
+   | Some t when t >= 1. -> ()
+   | _ -> fail "%s: drift_threshold missing or < 1" path);
+  let nodes =
+    match Option.bind (Obs.Json.member "nodes" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: nodes is empty" path
+    | Some l -> l
+    | None -> fail "%s: nodes missing or not an array" path
+  in
+  let paths = Hashtbl.create 16 in
+  List.iteri
+    (fun i n ->
+      let node_path =
+        match Option.bind (Obs.Json.member "path" n) Obs.Json.to_list with
+        | Some p -> List.map (fun step ->
+            match Obs.Json.to_int step with
+            | Some s -> s
+            | None -> fail "%s: node %d has a non-integer path step" path i) p
+        | None -> fail "%s: node %d has no path" path i
+      in
+      if Hashtbl.mem paths node_path then
+        fail "%s: node %d repeats a plan path" path i;
+      Hashtbl.replace paths node_path ();
+      if str_field "alg" n = None then fail "%s: node %d has no alg" path i;
+      (match num_field "estimated" n with
+       | Some e when e >= 0. -> ()
+       | _ -> fail "%s: node %d has a bad estimate" path i);
+      (match Option.bind (Obs.Json.member "observed" n) Obs.Json.to_int with
+       | Some o when o >= 0 -> ()
+       | _ -> fail "%s: node %d has a bad observed count" path i);
+      (match num_field "ratio" n with
+       | Some r when r >= 1. -> ()
+       | _ -> fail "%s: node %d has a q-error below 1" path i);
+      match Obs.Json.member "complete" n with
+      | Some (Obs.Json.Bool _) -> ()
+      | _ -> fail "%s: node %d has no completeness flag" path i)
+    nodes;
+  if not (Hashtbl.mem paths []) then fail "%s: no observation for the plan root" path;
+  let corrections =
+    match Option.bind (Obs.Json.member "corrections" j) Obs.Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: corrections missing or not an array" path
+  in
+  List.iteri
+    (fun i c ->
+      if str_field "table" c = None then fail "%s: correction %d has no table" path i;
+      if str_field "detail" c = None then fail "%s: correction %d has no detail" path i;
+      match Option.bind (Obs.Json.member "stats_version" c) Obs.Json.to_int with
+      | Some v when v >= 1 -> ()
+      | _ -> fail "%s: correction %d has a bad stats_version" path i)
+    corrections;
+  (match Obs.Json.member "escaped" j with
+   | Some (Obs.Json.Bool _) -> ()
+   | _ -> fail "%s: escaped missing or not a bool" path);
+  let stats =
+    match Obs.Json.member "stats" j with
+    | Some s -> s
+    | None -> fail "%s: stats missing" path
+  in
+  List.iter
+    (fun name ->
+      let is_feedback =
+        String.length name >= 9 && String.sub name 0 9 = "feedback_"
+      in
+      if is_feedback then
+        match Option.bind (Obs.Json.member name stats) Obs.Json.to_int with
+        | Some v when v >= 0 -> ()
+        | _ -> fail "%s: stats.%s missing or negative" path name)
+    (Volcano.Search_stats.metric_names "");
+  Printf.printf "OK %s: %d nodes, %d corrections\n" path (List.length nodes)
+    (List.length corrections)
+
 (* A benchmark report: a non-empty JSON object (the arms write their
    own schemas; parseability and shape are what CI guards). *)
 let validate_bench path =
@@ -114,7 +195,9 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "trace" :: [ path ] -> validate_trace path
   | _ :: "metrics" :: [ path ] -> validate_metrics path
+  | _ :: "drift" :: [ path ] -> validate_drift path
   | _ :: "bench" :: (_ :: _ as paths) -> List.iter validate_bench paths
   | _ ->
-    prerr_endline "usage: validate_obs {trace FILE | metrics FILE | bench FILE...}";
+    prerr_endline
+      "usage: validate_obs {trace FILE | metrics FILE | drift FILE | bench FILE...}";
     exit 2
