@@ -1609,6 +1609,273 @@ let feedback_bench ?(smoke = false) ~full:_ () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* SCALEUP  Dynamic promise + anytime search (BENCH_scaleup.json)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Plan-cost-vs-budget curves on 6-18-relation join graphs (clique,
+   cycle, grid, snowflake; skewed statistics, correlated predicates),
+   four arms per cell: static vs dynamic promise ordering, each with
+   the guided pruning layer on and off. Every arm of a cell is ONE
+   search observed at a ladder of cumulative task budgets (the engine's
+   anytime resume semantics), so the whole curve costs only the largest
+   budget. Reference cells (<= 10 relations) get an extra effectively
+   unbounded rung: there the search completes and the final plan must
+   be bit-identical across all four arms — dynamic ordering may only
+   change how fast incumbents arrive, never which plan wins. [smoke]
+   shrinks the grid for CI and exits nonzero when a reference arm
+   diverges or the dynamic arm reaches its first incumbent later than
+   static on a clique cell. *)
+let scaleup_bench ?(smoke = false) ~full () =
+  header "SCALEUP  Dynamic promise ordering + anytime search";
+  Printf.printf
+    "Per cell (topology x relations) and arm: tasks to first incumbent, tasks to\n\
+     an incumbent within 10%% of the cell's best final cost, and the best-so-far\n\
+     cost at each budget rung. Reference cells run to completion; their plans\n\
+     must be bit-identical across arms.\n\n";
+  let cells =
+    (* (shape, name, relations, reference). Reference cells are sized so
+       the exhaustive search finishes in seconds; ladder cells are the
+       10-20-relation regime where only budgeted search is feasible. *)
+    if smoke then
+      [
+        (Workload.Clique, "clique", 6, true);
+        (Workload.Cycle, "cycle", 8, true);
+        (Workload.Snowflake, "snowflake", 8, true);
+        (Workload.Clique, "clique", 12, false);
+      ]
+    else if full then
+      [
+        (Workload.Clique, "clique", 8, true);
+        (Workload.Cycle, "cycle", 10, true);
+        (Workload.Grid, "grid", 9, true);
+        (Workload.Snowflake, "snowflake", 10, true);
+        (Workload.Clique, "clique", 12, false);
+        (Workload.Cycle, "cycle", 14, false);
+        (Workload.Grid, "grid", 16, false);
+        (Workload.Snowflake, "snowflake", 18, false);
+      ]
+    else
+      [
+        (Workload.Clique, "clique", 6, true);
+        (Workload.Cycle, "cycle", 8, true);
+        (Workload.Grid, "grid", 9, true);
+        (Workload.Snowflake, "snowflake", 8, true);
+        (Workload.Clique, "clique", 12, false);
+      ]
+  in
+  let ladder =
+    if smoke then [ 1_000; 4_000; 16_000; 64_000 ]
+    else [ 2_000_000; 4_000_000; 8_000_000; 16_000_000 ]
+  in
+  (* Cumulative, so this rung just lets reference cells run to the end. *)
+  let exhaustive_cap = 1_000_000_000 in
+  let arms =
+    [
+      ("static", Volcano.Search.Static, true);
+      ("dynamic", Volcano.Search.Dynamic, true);
+      ("static-unguided", Volcano.Search.Static, false);
+      ("dynamic-unguided", Volcano.Search.Dynamic, false);
+    ]
+  in
+  let render (result : Relmodel.Optimizer.result) =
+    match result.plan with
+    | None -> "NONE"
+    | Some p ->
+      Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let opt_str = function None -> "-" | Some t -> string_of_int t in
+  Printf.printf
+    "  cell               | arm              | wall (ms) | first inc | within 10%% |   best at | final cost | complete\n";
+  Printf.printf
+    "  -------------------+------------------+-----------+-----------+------------+-----------+------------+---------\n";
+  let cell_rows =
+    List.map
+      (fun (shape, name, n, reference) ->
+        let q =
+          Workload.generate
+            (Workload.spec ~shape ~skew:0.7 ~correlation:0.85 ~n_relations:n
+               ~seed:(seed_base + (1700 * n)) ())
+        in
+        let budgets = ladder @ if reference then [ exhaustive_cap ] else [] in
+        let measured =
+          List.map
+            (fun (arm, promise, guided) ->
+              let request =
+                {
+                  (Relmodel.Optimizer.request q.catalog) with
+                  restore_columns = false;
+                  guided_pruning = guided;
+                  promise;
+                }
+              in
+              let dt, a =
+                time_it (fun () ->
+                    Relmodel.Optimizer.optimize_anytime request ~budgets q.logical
+                      ~required:Phys_prop.any)
+              in
+              (arm, promise, guided, dt *. 1000., a))
+            arms
+        in
+        (* The 10% level is relative to the best final cost any arm of
+           this cell reached (for reference cells: the optimum). *)
+        let final_cost (a : Relmodel.Optimizer.anytime) =
+          Option.map (fun p -> Cost.total (Relmodel.Optimizer.plan_cost p))
+            a.an_result.plan
+        in
+        let best_final =
+          List.fold_left
+            (fun acc (_, _, _, _, a) ->
+              match final_cost a with Some c -> Float.min acc c | None -> acc)
+            infinity measured
+        in
+        let threshold = 1.1 *. best_final in
+        let baseline = ref "" in
+        let arm_rows =
+          List.map
+            (fun (arm, _, guided, ms, (a : Relmodel.Optimizer.anytime)) ->
+              let tasks_to_first =
+                match a.an_incumbents with [] -> None | (t, _) :: _ -> Some t
+              in
+              let tasks_to_10 =
+                Option.map fst
+                  (List.find_opt
+                     (fun (_, c) -> Cost.total c <= threshold)
+                     a.an_incumbents)
+              in
+              (* When the arm's best plan was first in hand — the
+                 anytime point after which further tasks only prove
+                 optimality or fail to improve. *)
+              let tasks_to_best =
+                match List.rev a.an_incumbents with
+                | (t, _) :: _ -> Some t
+                | [] -> None
+              in
+              if reference then begin
+                let rendered = render a.an_result in
+                if not a.an_result.complete then
+                  fail "%s n=%d: arm %s did not complete its exhaustive rung" name n
+                    arm;
+                if arm = "static" then baseline := rendered;
+                if rendered <> !baseline then
+                  fail "%s n=%d: arm %s plan diverges from the static reference" name
+                    n arm
+              end;
+              ignore guided;
+              Printf.printf
+                "  %9s n=%-7d | %-16s | %9.1f | %9s | %10s | %9s | %10.4g | %b\n%!"
+                name n arm ms (opt_str tasks_to_first) (opt_str tasks_to_10)
+                (opt_str tasks_to_best)
+                (Option.value (final_cost a) ~default:nan)
+                a.an_result.complete;
+              (arm, ms, tasks_to_first, tasks_to_10, tasks_to_best, a))
+            measured
+        in
+        (* Anytime gate: on clique cells the dynamic guided arm must not
+           reach its first incumbent later than the static guided arm. *)
+        let first_of arm_name =
+          List.find_map
+            (fun (arm, _, first, _, _, _) -> if arm = arm_name then first else None)
+            arm_rows
+        in
+        if name = "clique" then begin
+          match (first_of "static", first_of "dynamic") with
+          | Some s, Some d ->
+            if d > s then
+              fail "clique n=%d: dynamic first incumbent at %d tasks, static at %d"
+                n d s
+          | Some s, None ->
+            fail "clique n=%d: dynamic arm found no incumbent (static at %d)" n s
+          | None, _ -> ()
+        end;
+        (name, n, reference, arm_rows))
+      cells
+  in
+  (* Headline: the task savings of dynamic ordering — tasks until the
+     arm's best plan was in hand. *)
+  List.iter
+    (fun (name, n, _, arm_rows) ->
+      let best arm_name =
+        List.find_map
+          (fun (arm, _, _, _, tb, _) -> if arm = arm_name then tb else None)
+          arm_rows
+      in
+      match (best "static", best "dynamic") with
+      | Some s, Some d ->
+        Printf.printf
+          "  %s n=%d: tasks until the best plan was found: static %d, dynamic %d \
+           (%.2fx)\n"
+          name n s d
+          (Float.of_int s /. Float.of_int d)
+      | _ -> ())
+    cell_rows;
+  let json_opt = function None -> "null" | Some t -> string_of_int t in
+  let oc = open_out "BENCH_scaleup.json" in
+  Printf.fprintf oc
+    "{\n  \"cores\": %d,\n  \"all_reference_cells_identical\": %b,\n  \"cells\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (not
+       (List.exists
+          (fun f ->
+            (* only plan-identity failures flip the flag *)
+            let has sub s =
+              let ls = String.length s and lsub = String.length sub in
+              let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+              go 0
+            in
+            has "diverges" f || has "exhaustive rung" f)
+          !failures))
+    (String.concat ",\n"
+       (List.map
+          (fun (name, n, reference, arm_rows) ->
+            Printf.sprintf
+              "    { \"workload\": \"%s\", \"relations\": %d, \"reference\": %b, \
+               \"arms\": [\n%s\n    ] }"
+              name n reference
+              (String.concat ",\n"
+                 (List.map
+                    (fun (arm, ms, first, t10, tbest, (a : Relmodel.Optimizer.anytime))
+                    ->
+                      let s = a.an_result.stats in
+                      Printf.sprintf
+                        "      { \"arm\": \"%s\", \"wall_ms\": %.2f, \
+                         \"tasks_to_first_incumbent\": %s, \
+                         \"tasks_to_within_10pct\": %s, \"tasks_to_best\": %s, \
+                         \"final_cost\": %s, \
+                         \"complete\": %b, \"promise_evals\": %d, \
+                         \"moves_reordered\": %d, \"anytime_improvements\": %d, \
+                         \"curve\": [ %s ] }"
+                        arm ms (json_opt first) (json_opt t10) (json_opt tbest)
+                        (match a.an_result.plan with
+                         | Some p ->
+                           Printf.sprintf "%.17g"
+                             (Cost.total (Relmodel.Optimizer.plan_cost p))
+                         | None -> "null")
+                        a.an_result.complete s.promise_evals s.moves_reordered
+                        s.anytime_improvements
+                        (String.concat ", "
+                           (List.map
+                              (fun (p : Relmodel.Optimizer.anytime_point) ->
+                                Printf.sprintf
+                                  "{ \"budget\": %d, \"tasks\": %d, \"cost\": %s, \
+                                   \"complete\": %b }"
+                                  p.at_budget p.at_tasks
+                                  (match p.at_cost with
+                                   | Some c -> Printf.sprintf "%.17g" (Cost.total c)
+                                   | None -> "null")
+                                  p.at_complete)
+                              a.an_points)))
+                    arm_rows)))
+          cell_rows));
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_scaleup.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1706,5 +1973,6 @@ let () =
   if want "obs" then obs_bench ~smoke ~full ();
   if want "mqo" then mqo_bench ~smoke ~full ();
   if want "feedback" then feedback_bench ~smoke ~full ();
+  if want "scaleup" then scaleup_bench ~smoke ~full ();
   if List.mem "micro" args then micro ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -109,7 +109,7 @@ let print_trace_summary tracer =
   |> List.iter (fun (k, n) -> Format.eprintf "trace: goals %s: %d@." k n)
 
 let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_steps
-    timeout_ms trace trace_out metrics_out show_explain domains scheduler =
+    timeout_ms trace trace_out metrics_out show_explain domains scheduler promise =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -135,6 +135,7 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
         max_millis = timeout_ms;
         domains;
         scheduler;
+        promise;
         tracer;
         explain = show_explain;
       }
@@ -618,13 +619,15 @@ let run_batch file strategy capacity shards domains scheduler metrics_out =
     0
   end
 
-let run_workload n seed =
-  let spec = Workload.spec ~n_relations:n ~seed () in
+let run_workload n seed shape skew correlation promise =
+  let spec = Workload.spec ~shape ~skew ?correlation ~n_relations:n ~seed () in
   let q = Workload.generate spec in
-  Format.printf "Random %d-relation query:@.%a@.@." n Logical.pp q.logical;
+  Format.printf "Random %d-relation %s query (%d join edges):@.%a@.@." n
+    (Workload.shape_name shape) (List.length q.edges) Logical.pp q.logical;
   let result =
-    Relmodel.Optimizer.optimize (Relmodel.Optimizer.request q.catalog) q.logical
-      ~required:Phys_prop.any
+    Relmodel.Optimizer.optimize
+      { (Relmodel.Optimizer.request q.catalog) with promise }
+      q.logical ~required:Phys_prop.any
   in
   (match result.plan with
    | None -> Format.printf "no plan@."
@@ -686,6 +689,23 @@ let scheduler_arg =
            with duplicate-killing claim backoff; the default) or $(b,seeded) (the \
            shared-counter ablation arm). The found plan is identical either way; \
            only the scheduling and its effort counters differ.")
+
+let promise_conv =
+  Arg.enum
+    [ ("dynamic", Volcano.Search.Dynamic); ("static", Volcano.Search.Static) ]
+
+let promise_arg =
+  Arg.(
+    value
+    & opt promise_conv Volcano.Search.Dynamic
+    & info [ "promise" ] ~docv:"MODE"
+        ~doc:
+          "Move-ordering policy at each goal: $(b,dynamic) (score every assembled \
+           move from the memo's logical properties and the model's cost estimates, \
+           pursue cheap covering moves first; the default) or $(b,static) (the \
+           paper's fixed per-rule promise integers). Under an unbounded budget the \
+           found plan and cost are bit-identical either way; under a step budget \
+           dynamic typically reaches good incumbents in fewer tasks.")
 
 let sql_arg =
   Arg.(
@@ -778,7 +798,7 @@ let optimize_cmd =
     Term.(
       const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ no_guided
       $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out $ explain
-      $ domains $ scheduler_arg)
+      $ domains $ scheduler_arg $ promise_arg)
 
 let skew_conv =
   let parse s =
@@ -1047,12 +1067,63 @@ let batch_cmd =
 
 let workload_cmd =
   let n =
-    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of input relations (2-10).")
+    Arg.(
+      value & opt pos_int 4
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Number of input relations (a positive count; the paper uses 2-10).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let shape_conv =
+    Arg.enum (List.map (fun s -> (Workload.shape_name s, s)) Workload.all_shapes)
+  in
+  let shape =
+    Arg.(
+      value & opt shape_conv Workload.Chain
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Join-graph topology: $(b,chain), $(b,star), $(b,random), $(b,clique), \
+             $(b,cycle), $(b,grid), or $(b,snowflake).")
+  in
+  (* Skew and correlation are probabilities/exponents on [0, 1]: anything
+     outside that range is a spelled-out usage error (mirroring pos_int),
+     caught at parse time rather than as a late Invalid_argument. *)
+  let unit_float what =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0. && f <= 1. -> Ok f
+      | Some f ->
+        Error (`Msg (Printf.sprintf "expected a %s within [0, 1], got %g" what f))
+      | None ->
+        Error (`Msg (Printf.sprintf "expected a %s within [0, 1], got %S" what s))
+    in
+    Arg.conv ~docv:"F" (parse, Format.pp_print_float)
+  in
+  let skew =
+    Arg.(
+      value
+      & opt (unit_float "skew factor") 0.
+      & info [ "skew" ] ~docv:"F"
+          ~doc:
+            "Per-table statistics skew in [0, 1]: 0 (the default) draws relation \
+             sizes uniformly as the paper does; above 0, relation $(i,i) gets \
+             max_rows / (i+1)^(2*F) rows — a zipf-like size ladder.")
+  in
+  let correlation =
+    Arg.(
+      value
+      & opt (some (unit_float "correlation")) None
+      & info [ "correlation" ] ~docv:"F"
+          ~doc:
+            "Probability in [0, 1] that a join edge reuses the shared key column \
+             (correlated predicates and shared interesting orders). Without this \
+             flag the legacy fixed 3/4 draw is kept.")
+  in
   Cmd.v
-    (Cmd.info "workload" ~doc:"Generate and optimize a paper-style random query")
-    Term.(const run_workload $ n $ seed)
+    (Cmd.info "workload"
+       ~doc:
+         "Generate and optimize a paper-style random query over a chosen join-graph \
+          topology, with optional statistics skew and predicate correlation")
+    Term.(const run_workload $ n $ seed $ shape $ skew $ correlation $ promise_arg)
 
 let () =
   let doc = "The Volcano optimizer generator (Graefe & McKenna, ICDE 1993)" in

@@ -30,6 +30,7 @@ type request = {
   restore_columns : bool;
   domains : int;
   scheduler : Volcano.Search.scheduler;
+  promise : Volcano.Search.promise_mode;
 }
 
 let request catalog =
@@ -48,6 +49,7 @@ let request catalog =
     restore_columns = true;
     domains = 1;
     scheduler = Volcano.Search.Stealing;
+    promise = Volcano.Search.Dynamic;
   }
 
 let rec to_physical_raw (p : plan_node) : Relalg.Physical.plan =
@@ -84,6 +86,7 @@ let make_searcher req =
       tracer = req.tracer;
       explain = req.explain;
       scheduler = req.scheduler;
+      promise = req.promise;
     }
   in
   let opt = S.create ~config () in
@@ -122,6 +125,84 @@ let make_searcher req =
 
 let optimize req (query : Relalg.Logical.expr) ~required : result =
   (make_searcher req) query required
+
+(* ---------------------------------------------------------------- *)
+(* Anytime ladder: one search, observed at a ladder of task budgets  *)
+(* ---------------------------------------------------------------- *)
+
+type anytime_point = {
+  at_budget : int;  (** cumulative task budget of this rung *)
+  at_tasks : int;  (** tasks actually executed when the rung was read *)
+  at_cost : Relalg.Cost.t option;  (** best-so-far plan cost, if any *)
+  at_complete : bool;  (** the search finished within this rung's budget *)
+}
+
+type anytime = {
+  an_points : anytime_point list;  (** one per requested budget, ascending *)
+  an_incumbents : (int * Relalg.Cost.t) list;
+      (** [(tasks, cost)] at every strict root-incumbent improvement *)
+  an_result : result;  (** the state after the last rung *)
+}
+
+(* Run ONE sequential search, pausing it at each cumulative task budget
+   of [budgets] to record the best-so-far cost — the plan-cost-vs-budget
+   curve of the run. Budgets are cumulative (the engine's resume
+   semantics), so the whole ladder costs only the largest budget. The
+   ladder drives the sequential engine directly; [req.domains] is
+   ignored. *)
+let optimize_anytime req ~budgets (query : Relalg.Logical.expr) ~required : anytime =
+  let (module M : Rel_model.REL_MODEL) =
+    Rel_model.make ~catalog:req.catalog ~params:req.params ~flags:req.flags ()
+  in
+  let module S = Volcano.Search.Make (M) in
+  let config =
+    {
+      S.pruning = req.pruning;
+      guided = req.guided_pruning;
+      max_moves = req.max_moves;
+      budget = S.unlimited;
+      tracer = req.tracer;
+      explain = req.explain;
+      scheduler = req.scheduler;
+      promise = req.promise;
+    }
+  in
+  let opt = S.create ~config () in
+  let limit = Option.value req.limit ~default:Relalg.Cost.infinite in
+  let run = S.start ~limit opt (Rel_model.to_tree query) ~required in
+  let rung b =
+    let status = S.resume ~budget:(S.budget ~max_tasks:b ()) run in
+    let cost =
+      Option.map (fun (p : S.plan_tree) -> p.S.cost) (S.best_so_far run)
+    in
+    {
+      at_budget = b;
+      at_tasks = run.S.r_tasks;
+      at_cost = cost;
+      at_complete = (status = S.Complete);
+    }
+  in
+  let points = List.map rung (List.sort_uniq compare budgets) in
+  let rec convert (p : S.plan_tree) : plan_node =
+    { alg = p.alg; children = List.map convert p.children; props = p.props; cost = p.cost }
+  in
+  let finish p =
+    if req.restore_columns then restore_column_order req query (convert p)
+    else convert p
+  in
+  let out = S.outcome_of run in
+  let an_result =
+    {
+      plan = Option.map finish out.S.plan;
+      complete = (out.S.status = S.Complete);
+      tasks_run = out.S.tasks_run;
+      stats = out.S.search_stats;
+      memo_groups = out.S.memo_groups;
+      memo_mexprs = out.S.memo_mexprs;
+      explain = None;
+    }
+  in
+  { an_points = points; an_incumbents = S.incumbents run; an_result }
 
 let to_physical = to_physical_raw
 

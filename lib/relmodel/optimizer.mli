@@ -65,6 +65,14 @@ type request = {
           deques with duplicate-killing claim backoff;
           {!Volcano.Search.Seeded} is the shared-counter ablation arm).
           No effect on the found plan. *)
+  promise : Volcano.Search.promise_mode;
+      (** how each goal's assembled moves are ordered for pursuit
+          (default {!Volcano.Search.Dynamic}: estimate-aware scoring
+          from the model's local cost estimates and the input groups'
+          cost lower bounds; {!Volcano.Search.Static} is the paper's
+          per-rule promise integers, kept as the ablation arm). Under
+          unbounded budgets the found plan is bit-identical either way;
+          only the order incumbents arrive in changes. *)
 }
 
 val request : Catalog.t -> request
@@ -76,6 +84,35 @@ val optimize :
 (** One-shot optimization on a fresh memo: generate the optimizer for
     the request's catalog and flags, insert the query, and search for
     the cheapest plan delivering [required]. *)
+
+(** {1 Anytime ladder: plan-cost-vs-budget curves} *)
+
+(** One rung of an anytime ladder: the state of the search when its
+    cumulative task budget reached [at_budget]. *)
+type anytime_point = {
+  at_budget : int;  (** cumulative task budget of this rung *)
+  at_tasks : int;  (** tasks actually executed when the rung was read *)
+  at_cost : Relalg.Cost.t option;  (** best-so-far plan cost, if any *)
+  at_complete : bool;  (** the search finished within this rung's budget *)
+}
+
+type anytime = {
+  an_points : anytime_point list;  (** one per requested budget, ascending *)
+  an_incumbents : (int * Relalg.Cost.t) list;
+      (** [(tasks, cost)] at every strict improvement of the root
+          goal's best-so-far plan, oldest first: tasks-to-first-
+          incumbent is the head's first component *)
+  an_result : result;  (** the state after the last rung *)
+}
+
+val optimize_anytime :
+  request -> budgets:int list -> Relalg.Logical.expr ->
+  required:Relalg.Phys_prop.t -> anytime
+(** Run ONE search, pausing at each cumulative task budget of [budgets]
+    (sorted and deduplicated) to record the best-so-far cost: the
+    plan-cost-vs-budget curve of the run, at the total price of the
+    largest budget. Drives the sequential engine; [domains] is
+    ignored. *)
 
 val to_physical : plan_node -> Relalg.Physical.plan
 (** Strip annotations for execution. *)

@@ -46,6 +46,27 @@
     bit-identical across schedulers and domain counts. *)
 type scheduler = Seeded | Stealing
 
+(** How a goal's assembled moves are ordered for pursuit.
+
+    [Static] is the paper's §4.2 baseline: the per-rule promise
+    integers declared by the model, with the sum of the input groups'
+    cost lower bounds as tie-break.
+
+    [Dynamic] rescores every move when the goal's move list is
+    assembled, from what the memo knows by then: the model's local
+    cost estimate ({!Signatures.MODEL.move_promise}, fed by estimated
+    output cardinality), the input groups' cost lower bounds, and
+    whether the move satisfies the required physical property directly
+    or through an enforcer. Cheapest projected total first; the static
+    order breaks ties.
+
+    Ordering decides only {e when} the optimum is found, never
+    {e which} plan wins: on exact cost ties the engine keeps the
+    candidate whose move came first in the {e static} order, whichever
+    order pursued it, so both modes pick bit-identical final plans
+    under unbounded budgets. *)
+type promise_mode = Static | Dynamic
+
 module Make (M : Signatures.MODEL) = struct
   module Memo = Memo.Make (M)
 
@@ -97,6 +118,10 @@ module Make (M : Signatures.MODEL) = struct
         (** how {!run}'s parallel phase schedules goal tasks over
             worker domains; no effect on the sequential engine or on
             the found plan (see {!scheduler}) *)
+    promise : promise_mode;
+        (** how assembled moves are ordered for pursuit (see
+            {!promise_mode}); no effect on the found plan under
+            unbounded budgets, only on how fast incumbents arrive *)
   }
 
   let default_config =
@@ -108,6 +133,7 @@ module Make (M : Signatures.MODEL) = struct
       tracer = None;
       explain = false;
       scheduler = Stealing;
+      promise = Dynamic;
     }
 
   (* How this searcher view accesses the shared goal state. [Seq] is
@@ -394,8 +420,20 @@ module Make (M : Signatures.MODEL) = struct
             insufficient (see [optimize_group_init]) *)
     mutable gs_bound : M.cost;  (** running branch-and-bound bound *)
     mutable gs_best : Memo.plan option;
+    mutable gs_best_rank : int;
+        (** static-order rank of the move that produced [gs_best]: the
+            order-independent tie-break. On an exact cost tie the
+            lower-ranked candidate wins, so static and dynamic pursuit
+            orders agree on the final plan (see {!promise_mode}) *)
     gs_impl : move list array;  (** per-implementation-rule collection buckets *)
-    mutable gs_moves : move list;  (** pending moves, promise-ordered *)
+    mutable gs_moves : (int * move) list;
+        (** pending moves in pursuit order, each tagged with its rank
+            in the static promise order *)
+    mutable gs_reranked : bool;
+        (** dynamic promise: this goal's pending moves have been
+            re-ranked by computed promise (which happens once, at the
+            first pursuit step after the run's root goal has an
+            incumbent) *)
     mutable gs_phase : goal_phase;
     gs_slot : slot;
     mutable gs_span : Obs.Trace.span option;
@@ -412,6 +450,7 @@ module Make (M : Signatures.MODEL) = struct
   and impl_state = {
     im_goal : goal_state;
     im_alg : M.alg;
+    im_rank : int;  (** static-order rank of the pursued move *)
     im_rule : string;  (** producing implementation rule, for provenance *)
     im_delivered : M.phys_props;
     mutable im_acc_cost : M.cost;  (** local cost + completed inputs *)
@@ -428,6 +467,7 @@ module Make (M : Signatures.MODEL) = struct
   and enf_state = {
     en_goal : goal_state;
     en_alg : M.alg;
+    en_rank : int;  (** static-order rank of the pursued move *)
     en_delivered : M.phys_props;
     en_relaxed : M.phys_props;
     en_excluded : M.phys_props;
@@ -481,6 +521,10 @@ module Make (M : Signatures.MODEL) = struct
     mutable r_stack : task list;
     mutable r_depth : int;
     mutable r_tasks : int;  (** tasks executed in this run (not the searcher) *)
+    mutable r_incumbents : (int * M.cost) list;
+        (** root-goal incumbent history, newest first: [(r_tasks, cost)]
+            at every strict improvement of the root goal's best-so-far
+            plan — the anytime cost-vs-effort curve of the run *)
     mutable r_millis : float;  (** active wall-clock milliseconds, across resumes *)
     mutable r_status : status option;  (** [Some Complete] once the stack drains *)
     r_marks : (int, unit Memo.Id_tbl.t) Hashtbl.t;
@@ -614,8 +658,10 @@ module Make (M : Signatures.MODEL) = struct
       gs_limit = limit;
       gs_bound = (if t.config.pruning then limit else M.cost_infinite);
       gs_best = None;
+      gs_best_rank = max_int;
       gs_impl = Array.make (max 1 n_implementations) [];
       gs_moves = [];
+      gs_reranked = false;
       gs_phase = G_init;
       gs_slot = slot;
       gs_span = None;
@@ -634,17 +680,39 @@ module Make (M : Signatures.MODEL) = struct
     end
 
   (* Record a completed candidate plan against the goal, tightening the
-     branch-and-bound bound (Figure 2's Limit update). *)
-  let consider t gs (candidate : Memo.plan) =
+     branch-and-bound bound (Figure 2's Limit update). [rank] is the
+     candidate move's position in the *static* promise order: on an
+     exact cost tie the lower rank wins, so which of two equal-cost
+     plans is kept does not depend on pursuit order. Under static
+     ordering ranks arrive increasing and the tie-break reduces to the
+     engine's historical first-arrival rule. *)
+  let consider run gs ~rank (candidate : Memo.plan) =
+    let t = run.rt in
     note_alt t gs ~alg:candidate.p_alg ~rule:candidate.p_rule
       ~cost:(Some candidate.p_cost) ~reason:Memo.Alt_completed;
-    let better =
+    let improved =
       match gs.gs_best with
       | None -> (not t.config.pruning) || cost_le candidate.p_cost gs.gs_limit
       | Some b -> cost_lt candidate.p_cost b.p_cost
     in
-    if better && M.pp_covers ~provided:candidate.p_props ~required:gs.gs_required then begin
+    let tie_break =
+      (not improved)
+      && (match gs.gs_best with
+          | Some b -> M.cost_compare candidate.p_cost b.p_cost = 0 && rank < gs.gs_best_rank
+          | None -> false)
+    in
+    if
+      (improved || tie_break)
+      && M.pp_covers ~provided:candidate.p_props ~required:gs.gs_required
+    then begin
+      if improved && gs == run.r_goal then begin
+        if gs.gs_best <> None then
+          t.stats.Search_stats.anytime_improvements <-
+            t.stats.Search_stats.anytime_improvements + 1;
+        run.r_incumbents <- (run.r_tasks, candidate.p_cost) :: run.r_incumbents
+      end;
       gs.gs_best <- Some candidate;
+      gs.gs_best_rank <- rank;
       if cost_lt candidate.p_cost gs.gs_bound then gs.gs_bound <- candidate.p_cost
     end
 
@@ -683,11 +751,126 @@ module Make (M : Signatures.MODEL) = struct
      completion before the next starts, so the bound tightened by one
      move's plan prunes the following moves — exactly the sequential
      move order of the recursive engine. *)
+  (* The cost floor of a move: the sum of its subgoals' lower bounds.
+     Secondary sort key after promise — of equally promising moves, the
+     one over the cheapest-bounded subtrees is pursued first, so the
+     branch-and-bound bound tightens sooner. Computed in every
+     configuration (including [guided = false] and [pruning = false]):
+     the move order decides which of two equal-cost plans is found
+     first, and the ablation arms must agree on it for their winners to
+     be bit-identical. *)
+  let move_floor t gs = function
+    | Impl { input_groups; input_reqs; _ } ->
+      List.fold_left2
+        (fun acc gi ri -> M.cost_add acc (lower_bound_for t gi ri))
+        M.cost_zero input_groups input_reqs
+    | Enforce { relaxed; _ } -> lower_bound_for t gs.gs_group relaxed
+
+  (* Dynamic promise: score one move from what the memo knows at
+     assembly time. Three keys, lexicographic, lower first:
+
+     - [pursuable] — whether the move can satisfy the required
+       property at all (a move whose delivered vector is excluded or
+       non-covering is a guaranteed no-op at pursuit: last);
+     - [demands] — how many of the move's input properties are
+       non-trivial. Each demanding input opens a property-establishment
+       subgoal that strictly contains the work of its relaxed sibling
+       (a sorted-input goal explores everything the any-property goal
+       does, plus enforcers and order-delivering algorithms), so a
+       demanding move tightens the branch-and-bound incumbent more
+       slowly than its projected *plan* cost suggests;
+     - the projected total: the model's promise estimate plus the
+       floor already computed for the static tie-break.
+
+     Implementations and enforcers compete on equal terms: a sort
+     enforcer over a cheap unordered plan (one trivial input) outranks
+     a merge join whose inputs must each pay for their order. *)
+  let promise_score t gs floor mv =
+    t.stats.Search_stats.promise_evals <- t.stats.Search_stats.promise_evals + 1;
+    match mv with
+    | Impl { alg; input_groups; input_reqs; _ } ->
+      let delivered = M.deliver alg input_reqs in
+      let pursuable =
+        if
+          excluded_by ~excluded:gs.gs_excluded ~delivered
+          || not (M.pp_covers ~provided:delivered ~required:gs.gs_required)
+        then 1
+        else 0
+      in
+      let demands =
+        List.fold_left
+          (fun acc p -> if M.pp_trivial p then acc else acc + 1)
+          0 input_reqs
+      in
+      let local =
+        M.move_promise alg
+          ~inputs:(List.map (lookup t) input_groups)
+          ~input_props:input_reqs ~output:(lookup t gs.gs_group)
+      in
+      (pursuable, demands, M.cost_add local floor)
+    | Enforce { alg; relaxed; _ } ->
+      let gprops = lookup t gs.gs_group in
+      let delivered = M.deliver alg [ relaxed ] in
+      let pursuable =
+        if
+          excluded_by ~excluded:gs.gs_excluded ~delivered
+          || not (M.pp_covers ~provided:delivered ~required:gs.gs_required)
+        then 1
+        else 0
+      in
+      let demands = if M.pp_trivial relaxed then 0 else 1 in
+      let local =
+        M.move_promise alg ~inputs:[ gprops ] ~input_props:[ relaxed ] ~output:gprops
+      in
+      (pursuable, demands, M.cost_add local floor)
+
+  (* Re-rank a pursuit-ordered move list by computed promise: a stable
+     sort on [promise_score], so ties keep their incoming (static)
+     order. [moves_reordered] counts the positions that changed. *)
+  let dynamic_order t gs (pending : (int * move) list) =
+    let scored =
+      List.map
+        (fun (rank, mv) -> (rank, mv, promise_score t gs (move_floor t gs mv) mv))
+        pending
+    in
+    let reordered =
+      List.stable_sort
+        (fun (_, _, (ca, da, pa)) (_, _, (cb, db, pb)) ->
+          let c = compare (ca : int) cb in
+          if c <> 0 then c
+          else
+            let d = compare (da : int) db in
+            if d <> 0 then d else M.cost_compare pa pb)
+        scored
+      |> List.map (fun (rank, mv, _) -> (rank, mv))
+    in
+    List.iter2
+      (fun (r0, _) (r1, _) ->
+        if r0 <> r1 then
+          t.stats.Search_stats.moves_reordered <-
+            t.stats.Search_stats.moves_reordered + 1)
+      pending reordered;
+    reordered
+
   let rec next_move run gs =
     let t = run.rt in
+    (* Dynamic promise, phase two: the first time this goal is stepped
+       after the run's root goal has an incumbent, re-rank its pending
+       moves by computed promise (once per goal — goals assembled
+       after the incumbent arrive already ranked). *)
+    if
+      t.config.promise = Dynamic
+      && (not gs.gs_reranked)
+      && run.r_goal.gs_best <> None
+    then begin
+      gs.gs_reranked <- true;
+      match gs.gs_moves with
+      | [] | [ _ ] -> ()
+      | pending -> gs.gs_moves <- dynamic_order t gs pending
+    end;
     match gs.gs_moves with
     | [] -> finalize_goal run gs
-    | mv :: rest ->
+    | (rank, mv) :: rest ->
       gs.gs_moves <- rest;
       (match mv with
        | Impl { alg; input_groups; input_reqs; promise = _; rule } ->
@@ -733,6 +916,7 @@ module Make (M : Signatures.MODEL) = struct
                   {
                     im_goal = gs;
                     im_alg = alg;
+                    im_rank = rank;
                     im_rule = rule;
                     im_delivered = delivered;
                     im_acc_cost = local;
@@ -783,6 +967,7 @@ module Make (M : Signatures.MODEL) = struct
                     {
                       en_goal = gs;
                       en_alg = alg;
+                      en_rank = rank;
                       en_delivered = delivered;
                       en_relaxed = relaxed;
                       en_excluded = enf_excluded;
@@ -947,34 +1132,47 @@ module Make (M : Signatures.MODEL) = struct
      implementation moves flattened rule-major, enforcers appended,
      promise-sorted, optionally truncated — one deterministic order
      shared by the sequential pursuit and the parallel seeding. *)
-  (* The cost floor of a move: the sum of its subgoals' lower bounds.
-     Secondary sort key after promise — of equally promising moves, the
-     one over the cheapest-bounded subtrees is pursued first, so the
-     branch-and-bound bound tightens sooner. Computed in every
-     configuration (including [guided = false] and [pruning = false]):
-     the move order decides which of two equal-cost plans is found
-     first, and the ablation arms must agree on it for their winners to
-     be bit-identical. *)
-  let move_floor t gs = function
-    | Impl { input_groups; input_reqs; _ } ->
-      List.fold_left2
-        (fun acc gi ri -> M.cost_add acc (lower_bound_for t gi ri))
-        M.cost_zero input_groups input_reqs
-    | Enforce { relaxed; _ } -> lower_bound_for t gs.gs_group relaxed
 
-  let assemble_moves t gs =
+  let assemble_moves run gs =
+    let t = run.rt in
     let impl = List.concat (Array.to_list gs.gs_impl) in
     let enf = enforcer_moves ~props:(lookup t gs.gs_group) ~required:gs.gs_required in
-    let moves =
+    (* The static order is always computed: under [Static] it is the
+       pursuit order, under [Dynamic] its positions are the ranks the
+       cost-tie-break in [consider] keys on — the one order both arms
+       agree about, independent of which is active. *)
+    let static_order =
       List.map (fun mv -> (mv, move_floor t gs mv)) (impl @ enf)
       |> List.stable_sort (fun (a, fa) (b, fb) ->
              let c = compare (move_promise b) (move_promise a) in
              if c <> 0 then c else M.cost_compare fa fb)
-      |> List.map fst
+      |> List.mapi (fun rank (mv, floor) -> (rank, mv, floor))
+    in
+    let ordered =
+      match t.config.promise with
+      | Static -> List.map (fun (rank, mv, _) -> (rank, mv)) static_order
+      (* Two-phase anytime policy: until this run's root goal has a
+         complete plan, pursue in the static rule order. Racing to a
+         first incumbent is about which move's subtree *completes*
+         cheapest, and completion cost is dominated by how much of the
+         subtree earlier pursuits already optimized — reuse a local
+         score cannot see (measured: at a sorted root, cost-greedy
+         pursuit of the covering enforcer first re-derives the whole
+         relaxed goal, 23x the tasks of static's order, which gets its
+         first covering plan almost free by piggybacking on a
+         non-covering descent). Once an incumbent exists the race is
+         over and the computed promise takes over — [next_move]
+         re-ranks the pending moves of goals assembled during the
+         race. *)
+      | Dynamic when run.r_goal.gs_best = None ->
+        List.map (fun (rank, mv, _) -> (rank, mv)) static_order
+      | Dynamic ->
+        gs.gs_reranked <- true;
+        dynamic_order t gs (List.map (fun (rank, mv, _) -> (rank, mv)) static_order)
     in
     match t.config.max_moves with
-    | None -> moves
-    | Some k -> List.filteri (fun i _ -> i < k) moves
+    | None -> ordered
+    | Some k -> List.filteri (fun i _ -> i < k) ordered
 
   (* The subgoals a goal's pending moves will schedule, each with the
      cost limit branch-and-bound grants it: the goal's current bound
@@ -1037,7 +1235,7 @@ module Make (M : Signatures.MODEL) = struct
       moves
 
   let optimize_group_pursue run gs =
-    gs.gs_moves <- assemble_moves run.rt gs;
+    gs.gs_moves <- assemble_moves run gs;
     next_move run gs
 
   let optimize_mexpr run gs (m : Memo.mexpr) =
@@ -1168,7 +1366,7 @@ module Make (M : Signatures.MODEL) = struct
     else
       match st.im_pending with
       | [] ->
-        consider t gs
+        consider run gs ~rank:st.im_rank
           {
             Memo.p_alg = st.im_alg;
             p_rule = st.im_rule;
@@ -1237,7 +1435,7 @@ module Make (M : Signatures.MODEL) = struct
        note_alt t gs ~alg:st.en_alg ~rule:"enforcer" ~cost:None
          ~reason:Memo.Alt_input_failed
      | Some sub ->
-       consider t gs
+       consider run gs ~rank:st.en_rank
          {
            Memo.p_alg = st.en_alg;
            p_rule = "enforcer";
@@ -1314,6 +1512,7 @@ module Make (M : Signatures.MODEL) = struct
       r_stack = [];
       r_depth = 0;
       r_tasks = 0;
+      r_incumbents = [];
       r_millis = 0.;
       r_status = None;
       r_marks = Hashtbl.create 8;
@@ -1529,6 +1728,12 @@ module Make (M : Signatures.MODEL) = struct
       List.iter (fun c -> go (depth + 2) c) n.x_inputs
     in
     go 0 root
+
+  (** The run's incumbent history, oldest first: [(tasks, cost)] at
+      every strict improvement of the root goal's best-so-far plan.
+      [tasks] counts this run's executed tasks when the incumbent was
+      recorded — the x-axis of an anytime cost-vs-effort curve. *)
+  let incumbents (run : run) : (int * M.cost) list = List.rev run.r_incumbents
 
   (** The best complete plan the run has found so far — the anytime
       answer. For a finished run this is the winner; for a paused run it
@@ -2086,7 +2291,9 @@ module Make (M : Signatures.MODEL) = struct
              with its bound tightened to the incumbent's cost: the goals
              its remaining moves will demand, at the limits
              branch-and-bound grants them, are the parallel seeds. *)
-          let seeds = dedup_seeds (seeds_of_moves t r.r_goal r.r_goal.gs_moves) in
+          let seeds =
+          dedup_seeds (seeds_of_moves t r.r_goal (List.map snd r.r_goal.gs_moves))
+        in
           if seeds <> [] then begin
             Memo.reset_claims t.memo;
             phase "parallel" (fun () ->

@@ -101,6 +101,16 @@ type t = {
   mutable feedback_replans : int;
       (** re-optimizations triggered by the feedback loop, whether from
           an escape-hatch abort or an explicit post-correction re-entry *)
+  mutable promise_evals : int;
+      (** moves scored by the model's promise estimate
+          ({!Signatures.MODEL.move_promise}) while assembling a goal's
+          move list under dynamic promise ordering *)
+  mutable moves_reordered : int;
+      (** moves whose pursuit position under dynamic promise ordering
+          differs from their static rule-promise position *)
+  mutable anytime_improvements : int;
+      (** root-goal incumbent replacements: a run's root goal already
+          had a best-so-far plan and a strictly cheaper one arrived *)
 }
 
 val create : unit -> t

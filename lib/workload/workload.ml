@@ -4,6 +4,24 @@ type shape =
   | Chain
   | Star
   | Random_acyclic
+  | Clique
+  | Cycle
+  | Grid
+  | Snowflake
+
+let shape_name = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Random_acyclic -> "random"
+  | Clique -> "clique"
+  | Cycle -> "cycle"
+  | Grid -> "grid"
+  | Snowflake -> "snowflake"
+
+let all_shapes = [ Chain; Star; Random_acyclic; Clique; Cycle; Grid; Snowflake ]
+
+let shape_of_string s =
+  List.find_opt (fun sh -> String.equal (shape_name sh) s) all_shapes
 
 type spec = {
   n_relations : int;
@@ -12,17 +30,29 @@ type spec = {
   max_rows : int;
   row_bytes : int;
   seed : int;
+  skew : float;
+  correlation : float option;
 }
 
 let spec ?(shape = Chain) ?(min_rows = 1_200) ?(max_rows = 7_200) ?(row_bytes = 100)
-    ~n_relations ~seed () =
+    ?(skew = 0.) ?correlation ~n_relations ~seed () =
   if n_relations < 1 then invalid_arg "Workload.spec: need at least one relation";
-  { n_relations; shape; min_rows; max_rows; row_bytes; seed }
+  if min_rows < 1 || max_rows < min_rows then
+    invalid_arg "Workload.spec: need 1 <= min_rows <= max_rows";
+  if row_bytes < 24 then invalid_arg "Workload.spec: row_bytes must be at least 24";
+  if not (skew >= 0. && skew <= 1.) then
+    invalid_arg "Workload.spec: skew must be within [0, 1]";
+  (match correlation with
+   | Some c when not (c >= 0. && c <= 1.) ->
+     invalid_arg "Workload.spec: correlation must be within [0, 1]"
+   | _ -> ());
+  { n_relations; shape; min_rows; max_rows; row_bytes; seed; skew; correlation }
 
 type query = {
   catalog : Catalog.t;
   logical : Logical.expr;
   relations : string list;
+  edges : (string * string) list;
 }
 
 (* Each relation has a key column, a set of join columns shared across
@@ -32,10 +62,23 @@ type query = {
 let build_catalog rng spec =
   let catalog = Catalog.create () in
   let names = List.init spec.n_relations (fun i -> Printf.sprintf "rel%d" i) in
-  List.iter
-    (fun name ->
-      let rows =
+  List.iteri
+    (fun i name ->
+      let drawn =
         spec.min_rows + Random.State.int rng (max 1 (spec.max_rows - spec.min_rows + 1))
+      in
+      (* Skewed per-table statistics: a zipf-like ladder over the
+         relation index — rel0 keeps [max_rows], later relations shrink
+         as [1/(i+1)^(2*skew)] down to [min_rows]. [skew = 0] keeps the
+         paper's uniform draw (and the exact RNG stream of older
+         seeds — the draw is consumed either way). *)
+      let rows =
+        if spec.skew = 0. then drawn
+        else
+          max spec.min_rows
+            (int_of_float
+               (float_of_int spec.max_rows
+               /. (float_of_int (i + 1) ** (2. *. spec.skew))))
       in
       (* Join columns draw from a shared domain so equi-joins are
          selective but non-empty; domain scales with relation size. *)
@@ -67,6 +110,34 @@ let join_edges rng spec names =
     (* Random spanning tree: attach each relation to a random earlier
        one. *)
     List.init (n - 1) (fun i -> (arr.(Random.State.int rng (i + 1)), arr.(i + 1)))
+  | Clique ->
+    (* Every pair joined: the densest (and cyclic) join graph, where
+       the plan space explodes fastest. *)
+    List.concat
+      (List.init n (fun i -> List.init (n - 1 - i) (fun j -> (arr.(i), arr.(i + 1 + j)))))
+  | Cycle ->
+    (* Chain plus a closing edge (cyclic for n >= 3). *)
+    List.init (n - 1) (fun i -> (arr.(i), arr.(i + 1)))
+    @ (if n >= 3 then [ (arr.(0), arr.(n - 1)) ] else [])
+  | Grid ->
+    (* Near-square row-major grid: each relation joined to its left and
+       upper neighbours (cyclic once both dimensions exceed 1). *)
+    let cols = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+    List.concat
+      (List.init n (fun i ->
+           let left = if i mod cols > 0 then [ (arr.(i - 1), arr.(i)) ] else [] in
+           let up = if i >= cols then [ (arr.(i - cols), arr.(i)) ] else [] in
+           left @ up))
+  | Snowflake ->
+    (* rel0 is the fact table; roughly a third of the remaining
+       relations are dimension heads joined to it, and the rest are
+       sub-dimensions attached round-robin to the heads. With [skew]
+       on, the size ladder makes the fact big and sub-dimensions tiny. *)
+    let heads = max 1 ((n - 1 + 2) / 3) in
+    List.init (n - 1) (fun i ->
+        let i = i + 1 in
+        if i <= heads then (arr.(0), arr.(i))
+        else (arr.(((i - heads - 1) mod heads) + 1), arr.(i)))
 
 let selection_predicate rng table_name =
   (* One selection per relation, on its value column, with random
@@ -76,10 +147,17 @@ let selection_predicate rng table_name =
   if Random.State.bool rng then col (table_name ^ ".val") <=% int threshold
   else col (table_name ^ ".val") >% int threshold
 
-let join_predicate rng (a, b) =
+let join_predicate rng spec (a, b) =
   (* Mostly join on jk1 so consecutive joins share sort orders — the
-     "interesting orders" regime the paper's quality comparison needs. *)
-  let key = if Random.State.int rng 4 < 3 then "jk1" else "jk2" in
+     "interesting orders" regime the paper's quality comparison needs.
+     [correlation] tunes the shared-key probability (1.0: every edge
+     reuses jk1, fully correlated predicates; 0.0: all independent);
+     [None] keeps the legacy 3/4 draw bit-for-bit. *)
+  let key =
+    match spec.correlation with
+    | None -> if Random.State.int rng 4 < 3 then "jk1" else "jk2"
+    | Some c -> if Random.State.float rng 1.0 < c then "jk1" else "jk2"
+  in
   let open Expr in
   col (a ^ "." ^ key) =% col (b ^ "." ^ key)
 
@@ -107,7 +185,7 @@ let generate spec =
               |> List.filter (fun (a, b) ->
                      (List.mem a joined && String.equal b name)
                      || (List.mem b joined && String.equal a name))
-              |> List.map (join_predicate rng)
+              |> List.map (join_predicate rng spec)
             in
             (joined', Logical.join (Expr.conjoin preds) acc leaf))
           ([ first ], first_leaf)
@@ -115,7 +193,7 @@ let generate spec =
       in
       expr
   in
-  { catalog; logical; relations = names }
+  { catalog; logical; relations = names; edges }
 
 let generate_batch spec ~count =
   List.init count (fun i -> generate { spec with seed = spec.seed + (i * 7919) })

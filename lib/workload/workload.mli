@@ -7,6 +7,21 @@ type shape =
   | Chain  (** R1 ⋈ R2 ⋈ ... ⋈ Rn, predicates between neighbours *)
   | Star  (** R1 joined to each of R2..Rn *)
   | Random_acyclic  (** random spanning tree of join predicates *)
+  | Clique  (** every pair of relations joined (cyclic, densest graph) *)
+  | Cycle  (** chain plus a closing edge (cyclic for n >= 3) *)
+  | Grid  (** near-square row-major grid, neighbours joined (cyclic) *)
+  | Snowflake
+      (** fact table, dimension heads joined to it, sub-dimensions
+          attached to the heads — with [skew], fact big and
+          sub-dimensions tiny *)
+
+val shape_name : shape -> string
+
+val shape_of_string : string -> shape option
+(** Inverse of {!shape_name} ("chain", "star", "random", "clique",
+    "cycle", "grid", "snowflake"). *)
+
+val all_shapes : shape list
 
 type spec = {
   n_relations : int;
@@ -15,21 +30,38 @@ type spec = {
   max_rows : int;  (** default 7,200 — paper's largest *)
   row_bytes : int;  (** default 100 — paper's record size *)
   seed : int;
+  skew : float;
+      (** per-table statistics skew in [0, 1]: 0 (default) draws row
+          counts uniformly as the paper does; above 0, relation [i]
+          gets [max_rows / (i+1)^(2*skew)] rows (clamped at
+          [min_rows]) — a zipf-like size ladder *)
+  correlation : float option;
+      (** probability a join edge reuses the shared key column [jk1]
+          (correlated predicates and shared interesting orders);
+          [None] (default) keeps the legacy fixed 3/4 draw *)
 }
 
 val spec : ?shape:shape -> ?min_rows:int -> ?max_rows:int -> ?row_bytes:int ->
-  n_relations:int -> seed:int -> unit -> spec
+  ?skew:float -> ?correlation:float -> n_relations:int -> seed:int -> unit -> spec
+(** Validated constructor.
+    @raise Invalid_argument unless [n_relations >= 1],
+    [1 <= min_rows <= max_rows], [row_bytes >= 24], [0 <= skew <= 1],
+    and (when given) [0 <= correlation <= 1]. *)
 
 type query = {
   catalog : Catalog.t;
   logical : Relalg.Logical.expr;  (** selections on leaves, left-deep join spine *)
   relations : string list;
+  edges : (string * string) list;
+      (** the join graph's edges, for connectivity checks and reporting *)
 }
 
 val generate : spec -> query
 (** Build a fresh catalog with [n_relations] synthetic relations and a
     select–join query over all of them, with one selection predicate
-    per relation (the paper's "as many selections as input relations"). *)
+    per relation (the paper's "as many selections as input relations").
+    Cyclic shapes keep the left-deep spine; a join conjoins the
+    predicates of every edge it newly connects. *)
 
 val generate_batch : spec -> count:int -> query list
 (** [count] queries with distinct derived seeds (the paper optimizes 50

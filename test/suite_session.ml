@@ -36,11 +36,15 @@ let test_session_reuses_memo () =
   let new_goals = second.stats.goals - goals_after_first in
   (* Only the subquery's own top-level goal (its property vector was
      never requested at the root before) needs work; everything below
-     is answered from the winner tables. *)
+     is answered from the winner tables — up to a goal or two that the
+     first run concluded as a failure under a branch-and-bound limit
+     tighter than the second run's (dynamic promise ordering reaches
+     tight limits early, so such entries are more common; the paper's
+     "increasingly generous cost limits" re-optimization covers them). *)
   Alcotest.(check bool)
     (Printf.sprintf "subquery nearly free (%d new goals)" new_goals)
     true
-    (new_goals <= 2);
+    (new_goals <= 3);
   Alcotest.(check bool) "and still yields a plan" true (second.plan <> None)
 
 let test_session_new_requirements_extend () =

@@ -64,7 +64,7 @@ let test_no_initial_cartesian () =
         List.iter go e.Logical.inputs
       in
       go q.logical)
-    [ Workload.Chain; Workload.Star; Workload.Random_acyclic ]
+    Workload.all_shapes
 
 let test_batch_seeds_distinct () =
   let qs = Workload.generate_batch (Workload.spec ~n_relations:3 ~seed:4 ()) ~count:5 in
@@ -84,7 +84,171 @@ let test_all_shapes_optimizable () =
           ~required:Phys_prop.any
       in
       Alcotest.(check bool) "plan found" true (r.plan <> None))
-    [ Workload.Chain; Workload.Star; Workload.Random_acyclic ]
+    Workload.all_shapes
+
+(* Every topology must emit a CONNECTED join graph over exactly the
+   requested relations — otherwise the left-deep spine would contain a
+   predicate-less (cartesian) join. Checked with a union-find over the
+   query's reported edges. *)
+let test_topologies_connected () =
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun n ->
+          let q =
+            Workload.generate (Workload.spec ~shape ~n_relations:n ~seed:(100 + n) ())
+          in
+          let name = Workload.shape_name shape in
+          Alcotest.(check int)
+            (Printf.sprintf "%s n=%d relation count" name n)
+            n (List.length q.relations);
+          let parent = Hashtbl.create 16 in
+          let rec find x =
+            match Hashtbl.find_opt parent x with
+            | None | Some "" -> x
+            | Some p ->
+              let r = find p in
+              Hashtbl.replace parent x r;
+              r
+          in
+          let union a b =
+            let ra = find a and rb = find b in
+            if ra <> rb then Hashtbl.replace parent ra rb
+          in
+          List.iter
+            (fun (a, b) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d edge endpoints are relations" name n)
+                true
+                (List.mem a q.relations && List.mem b q.relations);
+              union a b)
+            q.edges;
+          let roots =
+            List.sort_uniq compare (List.map find q.relations)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s n=%d join graph connected" name n)
+            1 (List.length roots);
+          (* Shape-specific edge counts. *)
+          let expected_edges =
+            match shape with
+            | Workload.Clique -> Some (n * (n - 1) / 2)
+            | Workload.Cycle -> Some (if n >= 3 then n else n - 1)
+            | Workload.Chain | Workload.Star | Workload.Random_acyclic
+            | Workload.Snowflake ->
+              Some (n - 1)
+            | Workload.Grid -> None (* n-1 <= edges <= 2n; connectivity suffices *)
+          in
+          Option.iter
+            (fun e ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s n=%d edge count" name n)
+                e (List.length q.edges))
+            expected_edges)
+        [ 1; 2; 3; 5; 10; 16 ])
+    Workload.all_shapes
+
+let test_skewed_stats () =
+  let spec =
+    Workload.spec ~shape:Workload.Snowflake ~skew:1. ~n_relations:8 ~seed:7 ()
+  in
+  let q = Workload.generate spec in
+  let rows name = Array.length (Catalog.find q.catalog name).Catalog.tuples in
+  (* Full skew: rel0 keeps max_rows and sizes fall off monotonically
+     down to the min_rows clamp. *)
+  Alcotest.(check int) "rel0 at max_rows" 7_200 (rows "rel0");
+  List.iteri
+    (fun i name ->
+      if i > 0 then begin
+        let prev = rows (Printf.sprintf "rel%d" (i - 1)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s no larger than its predecessor" name)
+          true
+          (rows name <= prev);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s clamped at min_rows" name)
+          true (rows name >= 1_200)
+      end)
+    q.relations
+
+let test_skew_zero_is_legacy () =
+  (* skew = 0 and correlation = None must reproduce the pre-skew
+     generator bit for bit (same RNG stream). *)
+  let q1 = Workload.generate (Workload.spec ~n_relations:5 ~seed:11 ()) in
+  let q2 =
+    Workload.generate (Workload.spec ~skew:0. ~n_relations:5 ~seed:11 ())
+  in
+  Alcotest.(check bool) "same logical query" true (Logical.equal q1.logical q2.logical);
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s same size" name)
+        (Array.length (Catalog.find q1.catalog name).Catalog.tuples)
+        (Array.length (Catalog.find q2.catalog name).Catalog.tuples))
+    q1.relations
+
+let test_correlation_extremes () =
+  (* correlation = 1: every join predicate uses the shared key jk1;
+     correlation = 0: none does. *)
+  let count_key key q =
+    count_ops
+      (function
+        | Logical.Join p ->
+          List.exists
+            (fun c ->
+              match c with
+              | Expr.Cmp (_, Expr.Col a, Expr.Col b) ->
+                let has s = String.length s > 4
+                            && String.sub s (String.length s - 3) 3 = key in
+                has a || has b
+              | _ -> false)
+            (Expr.conjuncts p)
+        | _ -> false)
+      q.Workload.logical
+  in
+  let q1 =
+    Workload.generate
+      (Workload.spec ~shape:Workload.Clique ~correlation:1. ~n_relations:5 ~seed:13 ())
+  in
+  Alcotest.(check int) "all joins on jk1" 0 (count_key "jk2" q1);
+  let q0 =
+    Workload.generate
+      (Workload.spec ~shape:Workload.Clique ~correlation:0. ~n_relations:5 ~seed:13 ())
+  in
+  Alcotest.(check int) "no join on jk1" 0 (count_key "jk1" q0)
+
+let test_spec_validation () =
+  let rejects name mk =
+    match mk () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  rejects "n_relations = 0" (fun () -> Workload.spec ~n_relations:0 ~seed:1 ());
+  rejects "n_relations < 0" (fun () -> Workload.spec ~n_relations:(-3) ~seed:1 ());
+  rejects "skew < 0" (fun () -> Workload.spec ~skew:(-0.1) ~n_relations:3 ~seed:1 ());
+  rejects "skew > 1" (fun () -> Workload.spec ~skew:1.5 ~n_relations:3 ~seed:1 ());
+  rejects "skew nan" (fun () -> Workload.spec ~skew:Float.nan ~n_relations:3 ~seed:1 ());
+  rejects "correlation < 0" (fun () ->
+      Workload.spec ~correlation:(-0.5) ~n_relations:3 ~seed:1 ());
+  rejects "correlation > 1" (fun () ->
+      Workload.spec ~correlation:2. ~n_relations:3 ~seed:1 ());
+  rejects "min_rows > max_rows" (fun () ->
+      Workload.spec ~min_rows:100 ~max_rows:10 ~n_relations:3 ~seed:1 ());
+  rejects "min_rows = 0" (fun () ->
+      Workload.spec ~min_rows:0 ~n_relations:3 ~seed:1 ());
+  (* And the boundary values are accepted. *)
+  ignore (Workload.spec ~skew:1. ~correlation:0. ~n_relations:1 ~seed:1 ());
+  ignore (Workload.spec ~skew:0. ~correlation:1. ~n_relations:1 ~seed:1 ())
+
+let test_shape_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Workload.shape_of_string (Workload.shape_name s) with
+      | Some s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | None -> Alcotest.failf "shape %s does not roundtrip" (Workload.shape_name s))
+    Workload.all_shapes;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Workload.shape_of_string "moebius" = None)
 
 let suite =
   [
@@ -95,4 +259,10 @@ let suite =
     Alcotest.test_case "no initial cartesian" `Quick test_no_initial_cartesian;
     Alcotest.test_case "batch variety" `Quick test_batch_seeds_distinct;
     Alcotest.test_case "all shapes optimizable" `Quick test_all_shapes_optimizable;
+    Alcotest.test_case "topologies connected" `Quick test_topologies_connected;
+    Alcotest.test_case "skewed statistics" `Quick test_skewed_stats;
+    Alcotest.test_case "skew zero is legacy" `Quick test_skew_zero_is_legacy;
+    Alcotest.test_case "correlation extremes" `Quick test_correlation_extremes;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "shape names roundtrip" `Quick test_shape_names_roundtrip;
   ]

@@ -22,6 +22,7 @@ let () =
       ("exodus", Suite_exodus.suite);
       ("sql", Suite_sql.suite);
       ("workload", Suite_workload.suite);
+      ("scaleup", Suite_scaleup.suite);
       ("mqo", Suite_mqo.suite);
       ("oomodel", Suite_oomodel.suite);
       ("obs", Suite_obs.suite);

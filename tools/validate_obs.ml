@@ -8,7 +8,8 @@
      validate_obs trace FILE       Chrome trace event file
      validate_obs metrics FILE     metrics snapshot (counters/gauges/histograms)
      validate_obs drift FILE       drift report from [volcano-cli run --feedback]
-     validate_obs bench FILE...    benchmark reports (non-empty JSON objects) *)
+     validate_obs bench FILE...    benchmark reports (non-empty JSON objects)
+     validate_obs scaleup FILE     scale-up report from [bench scaleup] *)
 
 let fail fmt =
   Printf.ksprintf
@@ -191,13 +192,133 @@ let validate_bench path =
     Printf.printf "OK %s: %d fields\n" path (List.length fields)
   | _ -> fail "%s: not a non-empty JSON object" path
 
+(* The scale-up report from [bench scaleup] (BENCH_scaleup.json): a
+   non-empty cells array, each cell carrying workload/relations/
+   reference and a non-empty arms array; each arm a budget curve whose
+   budgets strictly ascend, whose tasks never run backwards, and whose
+   best-so-far cost never appears and then disappears or worsens;
+   reference cells must be flagged all-identical and every reference
+   arm complete with a final cost. *)
+let validate_scaleup path =
+  let j = load path in
+  (match Obs.Json.member "all_reference_cells_identical" j with
+   | Some (Obs.Json.Bool true) -> ()
+   | Some (Obs.Json.Bool false) ->
+     fail "%s: a reference cell's plan diverged across arms" path
+   | _ -> fail "%s: all_reference_cells_identical missing" path);
+  let cells =
+    match Option.bind (Obs.Json.member "cells" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: cells is empty" path
+    | Some l -> l
+    | None -> fail "%s: cells missing or not an array" path
+  in
+  let n_arms = ref 0 in
+  List.iteri
+    (fun i cell ->
+      let cname =
+        match str_field "workload" cell with
+        | Some w -> w
+        | None -> fail "%s: cell %d has no workload" path i
+      in
+      (match Option.bind (Obs.Json.member "relations" cell) Obs.Json.to_int with
+       | Some n when n >= 1 -> ()
+       | _ -> fail "%s: cell %d has a bad relation count" path i);
+      let reference =
+        match Obs.Json.member "reference" cell with
+        | Some (Obs.Json.Bool b) -> b
+        | _ -> fail "%s: cell %d has no reference flag" path i
+      in
+      let arms =
+        match Option.bind (Obs.Json.member "arms" cell) Obs.Json.to_list with
+        | Some [] -> fail "%s: cell %s has no arms" path cname
+        | Some l -> l
+        | None -> fail "%s: cell %s arms missing or not an array" path cname
+      in
+      List.iter
+        (fun arm ->
+          incr n_arms;
+          let aname =
+            match str_field "arm" arm with
+            | Some a -> a
+            | None -> fail "%s: cell %s has an unnamed arm" path cname
+          in
+          let where = Printf.sprintf "cell %s arm %s" cname aname in
+          (* tasks_to_* are null (never reached) or positive. *)
+          List.iter
+            (fun f ->
+              match Obs.Json.member f arm with
+              | Some Obs.Json.Null -> ()
+              | Some t -> begin
+                match Obs.Json.to_int t with
+                | Some v when v >= 1 -> ()
+                | _ -> fail "%s: %s has a bad %s" path where f
+              end
+              | None -> fail "%s: %s has no %s" path where f)
+            [ "tasks_to_first_incumbent"; "tasks_to_within_10pct"; "tasks_to_best" ];
+          let complete =
+            match Obs.Json.member "complete" arm with
+            | Some (Obs.Json.Bool b) -> b
+            | _ -> fail "%s: %s has no completeness flag" path where
+          in
+          if reference && not complete then
+            fail "%s: %s is a reference arm but did not complete" path where;
+          if reference && Obs.Json.member "final_cost" arm = Some Obs.Json.Null
+          then fail "%s: %s is a reference arm without a final cost" path where;
+          let curve =
+            match Option.bind (Obs.Json.member "curve" arm) Obs.Json.to_list with
+            | Some [] -> fail "%s: %s has an empty curve" path where
+            | Some l -> l
+            | None -> fail "%s: %s curve missing or not an array" path where
+          in
+          let prev_budget = ref min_int and prev_tasks = ref 0 in
+          let prev_cost = ref None in
+          List.iter
+            (fun p ->
+              let budget =
+                match Option.bind (Obs.Json.member "budget" p) Obs.Json.to_int with
+                | Some b -> b
+                | None -> fail "%s: %s has a rung without a budget" path where
+              in
+              if budget <= !prev_budget then
+                fail "%s: %s budgets do not ascend" path where;
+              prev_budget := budget;
+              (match Option.bind (Obs.Json.member "tasks" p) Obs.Json.to_int with
+               | Some t when t >= !prev_tasks -> prev_tasks := t
+               | Some _ -> fail "%s: %s tasks run backwards" path where
+               | None -> fail "%s: %s has a rung without tasks" path where);
+              (match Obs.Json.member "complete" p with
+               | Some (Obs.Json.Bool _) -> ()
+               | _ -> fail "%s: %s has a rung without a complete flag" path where);
+              match Obs.Json.member "cost" p with
+              | Some Obs.Json.Null ->
+                if !prev_cost <> None then
+                  fail "%s: %s best-so-far disappeared" path where
+              | Some c -> begin
+                match Obs.Json.to_float c with
+                | Some v -> begin
+                  (match !prev_cost with
+                   | Some pv when v > pv ->
+                     fail "%s: %s best-so-far worsened along the ladder" path where
+                   | _ -> ());
+                  prev_cost := Some v
+                end
+                | None -> fail "%s: %s has a non-numeric rung cost" path where
+              end
+              | None -> fail "%s: %s has a rung without a cost" path where)
+            curve)
+        arms)
+    cells;
+  Printf.printf "OK %s: %d cells, %d arms\n" path (List.length cells) !n_arms
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "trace" :: [ path ] -> validate_trace path
   | _ :: "metrics" :: [ path ] -> validate_metrics path
   | _ :: "drift" :: [ path ] -> validate_drift path
   | _ :: "bench" :: (_ :: _ as paths) -> List.iter validate_bench paths
+  | _ :: "scaleup" :: [ path ] -> validate_scaleup path
   | _ ->
     prerr_endline
-      "usage: validate_obs {trace FILE | metrics FILE | drift FILE | bench FILE...}";
+      "usage: validate_obs {trace FILE | metrics FILE | drift FILE | bench FILE... | \
+       scaleup FILE}";
     exit 2
