@@ -1039,21 +1039,23 @@ let pruning_bench ?(smoke = false) ~full () =
 (* OBS  Observability overhead (BENCH_obs.json)                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Three arms over the same workloads: observability off, span tracing
-   on (one span per engine task plus goal and phase spans), and tracing
-   plus EXPLAIN alternative recording. The winning plan must stay
+(* Five arms over the same workloads: observability off, span tracing
+   on (one span per engine task plus goal and phase spans), tracing
+   plus EXPLAIN alternative recording, the per-rule profiler, and the
+   profiler plus the flight-recorder ring. The winning plan must stay
    bit-identical across all arms — observability may cost time but must
-   never steer the search — and the traced arm's span counts must equal
-   the engine's task counters (the trace is a complete account of the
-   work). [smoke] shrinks sizes for CI and exits nonzero when a plan
-   diverges, parity breaks, or the tracing overhead explodes. *)
+   never steer the search — the traced arm's span counts must equal the
+   engine's task counters, and the profiled arms' per-rule task sums
+   must equal the same counters (trace and profile are each a complete
+   account of the work). [smoke] shrinks sizes for CI and exits nonzero
+   when a plan diverges, parity breaks, or the overhead explodes. *)
 let obs_bench ?(smoke = false) ~full () =
-  header "OBS  Observability overhead (span tracing + EXPLAIN recording)";
+  header "OBS  Observability overhead (tracing, EXPLAIN, profiler, recorder)";
   let sizes = if smoke then [ 4; 5 ] else if full then [ 5; 6; 7 ] else [ 5; 6 ] in
   let reps = if smoke then 3 else 7 in
   Printf.printf
     "Per workload: median wall clock of %d runs per arm, span counts of the\n\
-     traced arm, and the overhead of tracing relative to the off arm.\n\n"
+     traced arm, and each arm's overhead relative to the off arm.\n\n"
     reps;
   let workloads =
     List.concat_map
@@ -1069,9 +1071,9 @@ let obs_bench ?(smoke = false) ~full () =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   Printf.printf
-    "  workload | arm           | wall (ms) | tasks | spans | overhead\n";
+    "  workload | arm               | wall (ms) | tasks | spans | overhead\n";
   Printf.printf
-    "  ---------+---------------+-----------+-------+-------+---------\n";
+    "  ---------+-------------------+-----------+-------+-------+---------\n";
   let rows =
     List.concat_map
       (fun (shape, name, n) ->
@@ -1080,17 +1082,34 @@ let obs_bench ?(smoke = false) ~full () =
             (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (1700 * n)) ())
         in
         let measure ~arm =
-          (* A fresh tracer per run: span buffers are per-optimization. *)
-          let samples = ref [] and last = ref None and last_tracer = ref None in
+          (* Fresh collectors per run: buffers are per-optimization. *)
+          let samples = ref []
+          and last = ref None
+          and last_tracer = ref None
+          and last_profiler = ref None in
           for _ = 1 to reps do
             let tracer =
-              if arm = "off" then None else Some (Obs.Trace.create ())
+              if arm = "trace" || arm = "trace+explain" then
+                Some (Obs.Trace.create ())
+              else None
+            in
+            let profiler =
+              if arm = "profile" || arm = "profile+flightrec" then
+                Some (Obs.Profile.create ())
+              else None
+            in
+            let recorder =
+              if arm = "profile+flightrec" then
+                Some (Obs.Flight_recorder.create ())
+              else None
             in
             let request =
               {
                 (Relmodel.Optimizer.request q.catalog) with
                 restore_columns = false;
                 tracer;
+                profiler;
+                recorder;
                 explain = arm = "trace+explain";
               }
             in
@@ -1101,16 +1120,17 @@ let obs_bench ?(smoke = false) ~full () =
             in
             samples := (dt *. 1000.) :: !samples;
             last := Some r;
-            last_tracer := tracer
+            last_tracer := tracer;
+            last_profiler := profiler
           done;
-          (median !samples, Option.get !last, !last_tracer)
+          (median !samples, Option.get !last, !last_tracer, !last_profiler)
         in
-        let base_ms, base_r, _ = measure ~arm:"off" in
+        let base_ms, base_r, _, _ = measure ~arm:"off" in
         let baseline = render base_r in
         List.map
           (fun arm ->
-            let ms, r, tracer =
-              if arm = "off" then (base_ms, base_r, None) else measure ~arm
+            let ms, r, tracer, profiler =
+              if arm = "off" then (base_ms, base_r, None, None) else measure ~arm
             in
             if render r <> baseline then
               fail "%s n=%d: arm %s diverges from the untraced plan" name n arm;
@@ -1127,12 +1147,19 @@ let obs_bench ?(smoke = false) ~full () =
             if tracer <> None && task_spans <> r.stats.Volcano.Search_stats.tasks then
               fail "%s n=%d: arm %s recorded %d task spans for %d tasks" name n arm
                 task_spans r.stats.Volcano.Search_stats.tasks;
+            (match profiler with
+             | None -> ()
+             | Some pr ->
+               let total = Obs.Profile.total_tasks pr in
+               if total <> r.stats.Volcano.Search_stats.tasks then
+                 fail "%s n=%d: arm %s attributed %d tasks for %d executed" name n
+                   arm total r.stats.Volcano.Search_stats.tasks);
             let overhead = 100. *. ((ms /. base_ms) -. 1.) in
-            Printf.printf "  %5s n=%d | %-13s | %9.2f | %5d | %5d | %+7.1f%%\n%!"
+            Printf.printf "  %5s n=%d | %-17s | %9.2f | %5d | %5d | %+7.1f%%\n%!"
               name n arm ms r.stats.Volcano.Search_stats.tasks spans
               (if arm = "off" then 0. else overhead);
             (name, n, arm, ms, r.stats.Volcano.Search_stats.tasks, spans, overhead))
-          [ "off"; "trace"; "trace+explain" ])
+          [ "off"; "trace"; "trace+explain"; "profile"; "profile+flightrec" ])
       workloads
   in
   (* Overhead across workloads: tracing buys a complete account of the
@@ -1147,17 +1174,29 @@ let obs_bench ?(smoke = false) ~full () =
   in
   let trace_x = geomean (ratios "trace") in
   let explain_x = geomean (ratios "trace+explain") in
+  let profile_x = geomean (ratios "profile") in
+  let flightrec_x = geomean (ratios "profile+flightrec") in
   Printf.printf
-    "\n  geomean slowdown: tracing %.2fx, tracing+explain %.2fx (off = 1.00x)\n"
-    trace_x explain_x;
+    "\n  geomean slowdown: tracing %.2fx, tracing+explain %.2fx, profiler \
+     %.2fx,\n  profiler+flightrec %.2fx (off = 1.00x)\n"
+    trace_x explain_x profile_x flightrec_x;
   if smoke && trace_x > 4. then
     fail "tracing slowdown %.2fx exceeds the 4x smoke gate" trace_x;
+  (* The profiler and ring are counters and preallocated slots, no
+     allocation per event: they must stay far cheaper than tracing. *)
+  if smoke && profile_x > 2. then
+    fail "profiler slowdown %.2fx exceeds the 2x smoke gate" profile_x;
+  if smoke && flightrec_x > 2. then
+    fail "profiler+flightrec slowdown %.2fx exceeds the 2x smoke gate" flightrec_x;
   let oc = open_out "BENCH_obs.json" in
   Printf.fprintf oc
     "{\n  \"cores\": %d,\n  \"trace_slowdown_x\": %.3f,\n\
     \  \"trace_explain_slowdown_x\": %.3f,\n\
+    \  \"profile_slowdown_x\": %.3f,\n\
+    \  \"profile_flightrec_slowdown_x\": %.3f,\n\
     \  \"all_arms_identical\": %b,\n  \"runs\": [\n%s\n  ]\n}\n"
-    (Domain.recommended_domain_count ()) trace_x explain_x (!failures = [])
+    (Domain.recommended_domain_count ()) trace_x explain_x profile_x flightrec_x
+    (!failures = [])
     (String.concat ",\n"
        (List.map
           (fun (name, n, arm, ms, tasks, spans, overhead) ->
@@ -1169,6 +1208,112 @@ let obs_bench ?(smoke = false) ~full () =
           rows));
   close_out oc;
   Printf.printf "\n  wrote BENCH_obs.json\n%!";
+  if !failures <> [] then begin
+    List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
+    if smoke then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* OBSPROF  Profiler / flight-recorder watchdog (no report)            *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression watchdog behind the profiled arms of OBS: off vs
+   profiler vs profiler+flight-recorder, sequentially and at 4 domains.
+   Three properties gate the run — the plan stays bit-identical, the
+   profiler's per-rule task sums equal the engine's task counters on
+   every arm (attribution parity holds under work stealing too), and
+   the profiled arms stay under 2x the off arm. Prints and gates; the
+   durable numbers live in BENCH_obs.json. *)
+let obsprof_bench ?(smoke = false) ~full () =
+  header "OBSPROF  Profiler & flight-recorder watchdog (plan-inert, <2x)";
+  let sizes = if smoke then [ 4; 5 ] else if full then [ 5; 6 ] else [ 5 ] in
+  let reps = if smoke then 3 else 5 in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let render (result : Relmodel.Optimizer.result) =
+    match result.plan with
+    | None -> "NONE"
+    | Some p ->
+      Printf.sprintf "%s|%.17g" (Relmodel.Optimizer.explain p) (Cost.total p.cost)
+  in
+  Printf.printf
+    "  workload | domains | arm               | wall (ms) | tasks | overhead\n";
+  Printf.printf
+    "  ---------+---------+-------------------+-----------+-------+---------\n";
+  let ratios = ref [] in
+  List.iter
+    (fun (shape, name, n) ->
+      let q =
+        Workload.generate
+          (Workload.spec ~shape ~n_relations:n ~seed:(seed_base + (2300 * n)) ())
+      in
+      List.iter
+        (fun domains ->
+          let measure ~arm =
+            let samples = ref [] and last = ref None and last_profiler = ref None in
+            for _ = 1 to reps do
+              let profiler =
+                if arm = "off" then None else Some (Obs.Profile.create ())
+              in
+              let recorder =
+                if arm = "profile+flightrec" then
+                  Some (Obs.Flight_recorder.create ())
+                else None
+              in
+              let request =
+                {
+                  (Relmodel.Optimizer.request q.catalog) with
+                  restore_columns = false;
+                  profiler;
+                  recorder;
+                  domains;
+                }
+              in
+              let dt, r =
+                time_it (fun () ->
+                    Relmodel.Optimizer.optimize request q.logical
+                      ~required:Phys_prop.any)
+              in
+              samples := (dt *. 1000.) :: !samples;
+              last := Some r;
+              last_profiler := profiler
+            done;
+            (median !samples, Option.get !last, !last_profiler)
+          in
+          let base_ms, base_r, _ = measure ~arm:"off" in
+          let baseline = render base_r in
+          List.iter
+            (fun arm ->
+              let ms, r, profiler =
+                if arm = "off" then (base_ms, base_r, None) else measure ~arm
+              in
+              if render r <> baseline then
+                fail "%s n=%d domains=%d: arm %s changes the plan" name n domains
+                  arm;
+              (match profiler with
+               | None -> ()
+               | Some pr ->
+                 let total = Obs.Profile.total_tasks pr in
+                 if total <> r.stats.Volcano.Search_stats.tasks then
+                   fail
+                     "%s n=%d domains=%d: arm %s attributed %d tasks for %d \
+                      executed"
+                     name n domains arm total r.stats.Volcano.Search_stats.tasks);
+              let x = ms /. base_ms in
+              if arm <> "off" && domains = 1 then ratios := x :: !ratios;
+              Printf.printf
+                "  %5s n=%d |       %d | %-17s | %9.2f | %5d | %+7.1f%%\n%!" name
+                n domains arm ms r.stats.Volcano.Search_stats.tasks
+                (if arm = "off" then 0. else 100. *. (x -. 1.)))
+            [ "off"; "profile"; "profile+flightrec" ])
+        [ 1; 4 ])
+    (List.concat_map
+       (fun n -> [ (Workload.Chain, "chain", n); (Workload.Star, "star", n) ])
+       sizes);
+  let slowdown = geomean !ratios in
+  Printf.printf "\n  geomean profiled slowdown (sequential arms): %.2fx\n" slowdown;
+  if smoke && slowdown > 2. then
+    fail "profiled slowdown %.2fx exceeds the 2x smoke gate" slowdown;
   if !failures <> [] then begin
     List.iter (Printf.printf "  FAIL: %s\n") (List.rev !failures);
     if smoke then exit 1
@@ -1971,6 +2116,7 @@ let () =
   if want "parsearch" then parsearch_bench ~smoke ~full ();
   if want "pruning" then pruning_bench ~smoke ~full ();
   if want "obs" then obs_bench ~smoke ~full ();
+  if want "obsprof" then obsprof_bench ~smoke ~full ();
   if want "mqo" then mqo_bench ~smoke ~full ();
   if want "feedback" then feedback_bench ~smoke ~full ();
   if want "scaleup" then scaleup_bench ~smoke ~full ();

@@ -109,7 +109,8 @@ let print_trace_summary tracer =
   |> List.iter (fun (k, n) -> Format.eprintf "trace: goals %s: %d@." k n)
 
 let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_steps
-    timeout_ms trace trace_out metrics_out show_explain domains scheduler promise =
+    timeout_ms trace trace_out metrics_out profile_out flightrec_out show_explain
+    domains scheduler promise =
   let catalog = demo_catalog () in
   match Sqlfront.parse catalog sql with
   | exception Sqlfront.Parse_error msg ->
@@ -119,11 +120,19 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
     Format.printf "Logical query:@.%a@.@." Logical.pp logical;
     Format.printf "Required properties: %s@.@." (Phys_prop.to_string required);
     (* The goal-task histogram in --metrics-out is computed from spans,
-       so a metrics request implies a (silent) tracer. *)
+       so a metrics request implies a (silent) tracer; the rule_* gauges
+       likewise imply a (silent) profiler. All of it is plan-inert. *)
     let tracer =
       if trace || trace_out <> None || metrics_out <> None then
         Some (Obs.Trace.create ())
       else None
+    in
+    let profiler =
+      if profile_out <> None || metrics_out <> None then Some (Obs.Profile.create ())
+      else None
+    in
+    let recorder =
+      Option.map (fun path -> Obs.Flight_recorder.create ~path ()) flightrec_out
     in
     let request =
       {
@@ -137,6 +146,8 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
         scheduler;
         promise;
         tracer;
+        profiler;
+        recorder;
         explain = show_explain;
       }
     in
@@ -160,10 +171,36 @@ let run_optimize sql execute compare_exodus no_pruning no_guided left_deep max_s
             let reg = Obs.Metrics.create () in
             Volcano.Search_stats.register reg result.stats;
             goal_task_histogram reg tr;
+            Option.iter (fun pr -> Obs.Profile.register pr reg) profiler;
             Obs.Json.write_file path (Obs.Metrics.to_json reg);
             Format.eprintf "wrote %s@." path)
           metrics_out)
       tracer;
+    Option.iter
+      (fun path ->
+        Option.iter
+          (fun pr ->
+            Obs.Json.write_file path (Obs.Profile.to_json pr);
+            Format.eprintf "%a@." (Obs.Profile.pp_table ~top:20) pr;
+            Format.eprintf "wrote %s (%d tasks attributed)@." path
+              (Obs.Profile.total_tasks pr))
+          profiler)
+      profile_out;
+    Option.iter
+      (fun fr ->
+        (* Abnormal ends (budget pause, stall-abandon) already dumped;
+           otherwise dump now so the file always exists for tooling. *)
+        if Obs.Flight_recorder.dumps fr = 0 then
+          Obs.Flight_recorder.trigger fr ~reason:"end-of-run";
+        Option.iter
+          (fun path ->
+            Format.eprintf "wrote %s (%d events recorded, %d dropped, reason %s)@."
+              path
+              (Obs.Flight_recorder.recorded fr)
+              (Obs.Flight_recorder.dropped fr)
+              (Obs.Flight_recorder.last_reason fr))
+          flightrec_out)
+      recorder;
     if not result.complete then
       Format.printf
         "Budget exhausted after %d tasks; showing the best plan found so far.@.@."
@@ -395,42 +432,83 @@ let run_repl () =
   loop ()
 
 (* A deliberately minimal HTTP/1.1 responder for the metrics endpoint:
-   one request per connection, two routes, no keep-alive. *)
-let serve_metrics srv port =
+   one request per connection, no keep-alive. Minimal is not sloppy:
+   the request is read to its header terminator (not a single read),
+   unknown paths get a real 404, a malformed request line a 400, and a
+   handler failure a 500 — never a silently closed connection. *)
+let http_header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then false
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let http_read_request fd =
+  let chunk = Bytes.create 1024 in
+  let buf = Buffer.create 512 in
+  let rec go () =
+    if Buffer.length buf > 16_384 || http_header_end (Buffer.contents buf) then
+      Buffer.contents buf
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 | (exception Unix.Unix_error _) -> Buffer.contents buf
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ()
+
+let http_write fd status ctype body =
+  let resp =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      status ctype (String.length body) body
+  in
+  ignore (Unix.write_substring fd resp 0 (String.length resp))
+
+let serve_metrics srv profiler port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen sock 16;
-  Format.printf "metrics: http://127.0.0.1:%d/metrics (Prometheus text), /metrics.json@."
+  Format.printf
+    "metrics: http://127.0.0.1:%d/metrics (Prometheus text), /metrics.json, \
+     /status, /slow, /profile@."
     port;
   Format.print_flush ();
   let reg = Plansrv.registry srv in
+  let json j = ("200 OK", "application/json", Obs.Json.to_string j) in
   let rec loop () =
     let fd, _ = Unix.accept sock in
     (try
-       let buf = Bytes.create 4096 in
-       let n = Unix.read fd buf 0 4096 in
-       let path =
-         match String.split_on_char ' ' (Bytes.sub_string buf 0 (max n 0)) with
-         | _meth :: p :: _ -> p
-         | _ -> "/"
+       let request = http_read_request fd in
+       let request_line =
+         match String.index_opt request '\r' with
+         | Some i -> String.sub request 0 i
+         | None -> request
        in
        let status, ctype, body =
-         match path with
-         | "/metrics" ->
-           ("200 OK", "text/plain; version=0.0.4", Obs.Metrics.to_prometheus reg)
-         | "/metrics.json" ->
-           ("200 OK", "application/json", Obs.Json.to_string (Obs.Metrics.to_json reg))
-         | _ -> ("404 Not Found", "text/plain", "not found\n")
+         match String.split_on_char ' ' request_line with
+         | [ _meth; path; _version ] -> begin
+           match path with
+           | "/metrics" ->
+             ("200 OK", "text/plain; version=0.0.4", Obs.Metrics.to_prometheus reg)
+           | "/metrics.json" -> json (Obs.Metrics.to_json reg)
+           | "/status" -> json (Plansrv.status_json srv)
+           | "/slow" -> json (Plansrv.slow_log_json srv)
+           | "/profile" -> json (Obs.Profile.to_json profiler)
+           | _ -> ("404 Not Found", "text/plain", "not found\n")
+         end
+         | _ -> ("400 Bad Request", "text/plain", "malformed request line\n")
        in
-       let resp =
-         Printf.sprintf
-           "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-            close\r\n\r\n%s"
-           status ctype (String.length body) body
-       in
-       ignore (Unix.write_substring fd resp 0 (String.length resp))
-     with _ -> ());
+       http_write fd status ctype body
+     with _ -> (
+       try http_write fd "500 Internal Server Error" "text/plain" "internal error\n"
+       with _ -> ()));
     (try Unix.close fd with Unix.Unix_error _ -> ());
     loop ()
   in
@@ -476,13 +554,22 @@ let print_response line (r : Plansrv.response) =
     line fp
 
 let run_serve file workers capacity shards parameterize feedback skews domains
-    scheduler metrics_port =
+    scheduler metrics_port slow_ms =
   let catalog = demo_catalog () in
   apply_skews catalog skews;
+  (* Every cache-miss optimization feeds the service-wide profiler, so
+     /profile attributes the service's cumulative search effort to
+     rules and enforcers. Plan-inert by contract. *)
+  let profiler = Obs.Profile.create () in
   let srv =
     Plansrv.create
-      (Plansrv.config ~capacity ~shards ~parameterize
-         { (Relmodel.Optimizer.request catalog) with domains; scheduler })
+      (Plansrv.config ~capacity ~shards ~parameterize ~slow_ms
+         {
+           (Relmodel.Optimizer.request catalog) with
+           domains;
+           scheduler;
+           profiler = Some profiler;
+         })
   in
   let lines =
     match file with
@@ -541,7 +628,7 @@ let run_serve file workers capacity shards parameterize feedback skews domains
     | Some port ->
       (* Keep the service alive and export its registry over HTTP until
          the process is killed. *)
-      serve_metrics srv port
+      serve_metrics srv profiler port
   end
 
 (* Multi-query optimization over a SQL file: every statement goes into
@@ -777,6 +864,29 @@ let optimize_cmd =
             "Write a JSON metrics snapshot to $(docv): every search counter plus the \
              per-goal task-count histogram.")
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Profile the search and write per-rule / per-enforcer / per-operator \
+             effort attribution to $(docv) as JSON (tasks, mexprs generated, plans \
+             won, goals pruned, wasted work, cumulative task time); a top-N table \
+             goes to stderr. Profiling is plan-inert: the found plan is \
+             bit-identical with or without it.")
+  in
+  let flightrec_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flightrec-out" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder: fixed-size per-worker rings of recent engine \
+             events (task begin/end, claim/publish, prune, incumbent), dumped to \
+             $(docv) when the search pauses on a budget or abandons a stalled run \
+             (and at end-of-run otherwise, so the file always exists).")
+  in
   let explain =
     Arg.(
       value & flag
@@ -797,8 +907,9 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimize (and optionally run) a SQL statement")
     Term.(
       const run_optimize $ sql_arg $ execute $ exodus $ no_pruning $ no_guided
-      $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out $ explain
-      $ domains $ scheduler_arg $ promise_arg)
+      $ left_deep $ max_steps $ timeout_ms $ trace $ trace_out $ metrics_out
+      $ profile_out $ flightrec_out $ explain $ domains $ scheduler_arg
+      $ promise_arg)
 
 let skew_conv =
   let parse s =
@@ -976,9 +1087,19 @@ let serve_cmd =
       & opt (some int) None
       & info [ "metrics-port" ] ~docv:"PORT"
           ~doc:
-            "After serving the batch, keep running and export the service's metrics \
-             registry on 127.0.0.1:$(docv): $(b,/metrics) (Prometheus text) and \
-             $(b,/metrics.json).")
+            "After serving the batch, keep running and export the service's \
+             observability on 127.0.0.1:$(docv): $(b,/metrics) (Prometheus text), \
+             $(b,/metrics.json), $(b,/status) (service status JSON), $(b,/slow) \
+             (slow-query log with captured EXPLAIN provenance), and $(b,/profile) \
+             (per-rule search effort attribution).")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt float 50.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold: responses at or above $(docv) milliseconds land \
+             in the slow-query log served on $(b,/slow).")
   in
   let feedback =
     Arg.(
@@ -996,7 +1117,7 @@ let serve_cmd =
        ~doc:"Optimization service: fingerprinted plan cache over a batch of statements")
     Term.(
       const run_serve $ file $ workers $ capacity $ shards $ parameterize $ feedback
-      $ skew_arg $ domains $ scheduler_arg $ metrics_port)
+      $ skew_arg $ domains $ scheduler_arg $ metrics_port $ slow_ms)
 
 let batch_cmd =
   let file =

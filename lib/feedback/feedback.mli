@@ -43,6 +43,11 @@ type config = {
   max_replans : int;
       (** escape-hatch re-optimization budget per {!run} (the final
           attempt always executes to completion) *)
+  recorder : Obs.Flight_recorder.t option;
+      (** flight recorder to {!Obs.Flight_recorder.trigger} (reason
+          ["feedback-escape"]) whenever the escape hatch aborts a run:
+          the post-mortem dump captures the engine events leading up to
+          the misestimate *)
 }
 
 val config :
@@ -50,6 +55,7 @@ val config :
   ?escape_factor:float ->
   ?correct:bool ->
   ?max_replans:int ->
+  ?recorder:Obs.Flight_recorder.t ->
   unit ->
   config
 (** Defaults: threshold 2, hatch disarmed, corrections on, 1 replan.

@@ -1,0 +1,226 @@
+type kind = Rule | Enforcer | Operator | Engine
+
+let kind_name = function
+  | Rule -> "rule"
+  | Enforcer -> "enforcer"
+  | Operator -> "operator"
+  | Engine -> "engine"
+
+type cell = {
+  c_kind : kind;
+  c_name : string;
+  mutable c_tasks : int;
+  mutable c_mexprs : int;
+  mutable c_plans_won : int;
+  mutable c_pruned : int;
+  mutable c_wasted : int;
+  mutable c_ns : int64;
+}
+
+type buf = {
+  pb_track : int;
+  pb_cells : (int * string, cell) Hashtbl.t;
+}
+
+type t = {
+  pr_lock : Mutex.t;
+  mutable pr_bufs : buf list;
+}
+
+let create () = { pr_lock = Mutex.create (); pr_bufs = [] }
+
+let buf t ~track =
+  let b = { pb_track = track; pb_cells = Hashtbl.create 64 } in
+  Mutex.protect t.pr_lock (fun () -> t.pr_bufs <- b :: t.pr_bufs);
+  b
+
+let kind_code = function Rule -> 0 | Enforcer -> 1 | Operator -> 2 | Engine -> 3
+
+let cell b kind name =
+  let key = (kind_code kind, name) in
+  match Hashtbl.find_opt b.pb_cells key with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        c_kind = kind;
+        c_name = name;
+        c_tasks = 0;
+        c_mexprs = 0;
+        c_plans_won = 0;
+        c_pruned = 0;
+        c_wasted = 0;
+        c_ns = 0L;
+      }
+    in
+    Hashtbl.add b.pb_cells key c;
+    c
+
+let task b kind name ~ns =
+  let c = cell b kind name in
+  c.c_tasks <- c.c_tasks + 1;
+  c.c_ns <- Int64.add c.c_ns ns
+
+let mexprs b kind name n =
+  if n <> 0 then begin
+    let c = cell b kind name in
+    c.c_mexprs <- c.c_mexprs + n
+  end
+
+let plan_won b kind name =
+  let c = cell b kind name in
+  c.c_plans_won <- c.c_plans_won + 1
+
+let pruned b kind name =
+  let c = cell b kind name in
+  c.c_pruned <- c.c_pruned + 1
+
+let wasted b kind name n =
+  if n <> 0 then begin
+    let c = cell b kind name in
+    c.c_wasted <- c.c_wasted + n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merged report                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  kind : kind;
+  name : string;
+  tasks : int;
+  mexprs : int;
+  plans_won : int;
+  pruned : int;
+  wasted : int;
+  ns : int64;
+}
+
+let bufs t = Mutex.protect t.pr_lock (fun () -> t.pr_bufs)
+
+let report t =
+  let merged : (int * string, entry ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun key (c : cell) ->
+          match Hashtbl.find_opt merged key with
+          | Some e ->
+            e :=
+              {
+                !e with
+                tasks = !e.tasks + c.c_tasks;
+                mexprs = !e.mexprs + c.c_mexprs;
+                plans_won = !e.plans_won + c.c_plans_won;
+                pruned = !e.pruned + c.c_pruned;
+                wasted = !e.wasted + c.c_wasted;
+                ns = Int64.add !e.ns c.c_ns;
+              }
+          | None ->
+            Hashtbl.add merged key
+              (ref
+                 {
+                   kind = c.c_kind;
+                   name = c.c_name;
+                   tasks = c.c_tasks;
+                   mexprs = c.c_mexprs;
+                   plans_won = c.c_plans_won;
+                   pruned = c.c_pruned;
+                   wasted = c.c_wasted;
+                   ns = c.c_ns;
+                 }))
+        b.pb_cells)
+    (bufs t);
+  Hashtbl.fold (fun _ e acc -> !e :: acc) merged []
+  |> List.sort (fun a b ->
+         let c = Int64.compare b.ns a.ns in
+         if c <> 0 then c else compare (a.kind, a.name) (b.kind, b.name))
+
+let total_tasks t =
+  List.fold_left (fun acc e -> acc + e.tasks) 0 (report t)
+
+let tracks t = List.sort_uniq compare (List.map (fun b -> b.pb_track) (bufs t))
+
+let ms_of e = Int64.to_float e.ns /. 1e6
+
+let to_json t =
+  let entries =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("kind", Json.Str (kind_name e.kind));
+            ("name", Json.Str e.name);
+            ("tasks", Json.int e.tasks);
+            ("mexprs", Json.int e.mexprs);
+            ("plans_won", Json.int e.plans_won);
+            ("pruned", Json.int e.pruned);
+            ("wasted", Json.int e.wasted);
+            ("time_ms", Json.Num (ms_of e));
+          ])
+      (report t)
+  in
+  Json.Obj
+    [
+      ("total_tasks", Json.int (total_tasks t));
+      ("tracks", Json.Arr (List.map Json.int (tracks t)));
+      ("entries", Json.Arr entries);
+    ]
+
+let pp_table ?(top = 20) ppf t =
+  let entries = report t in
+  let shown = List.filteri (fun i _ -> i < top) entries in
+  Format.fprintf ppf "%-9s %-28s %8s %8s %6s %7s %7s %10s@."
+    "kind" "name" "tasks" "mexprs" "won" "pruned" "wasted" "time_ms";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-9s %-28s %8d %8d %6d %7d %7d %10.3f@."
+        (kind_name e.kind) e.name e.tasks e.mexprs e.plans_won e.pruned
+        e.wasted (ms_of e))
+    shown;
+  let rest = List.length entries - List.length shown in
+  if rest > 0 then Format.fprintf ppf "... and %d more@." rest
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' | '_' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '_')
+    name
+
+(* Export rule/enforcer attribution as registry gauges: the gauge
+   closures re-merge at scrape time, so they track a live search. *)
+let register ?(prefix = "rule_") t reg =
+  let seen = Hashtbl.create 16 in
+  let publish e =
+    let base =
+      match e.kind with
+      | Rule -> prefix ^ sanitize e.name
+      | Enforcer -> prefix ^ "enforcer_" ^ sanitize e.name
+      | Operator | Engine -> ""
+    in
+    if base <> "" && not (Hashtbl.mem seen base) then begin
+      Hashtbl.add seen base ();
+      let field suffix pick =
+        Metrics.gauge reg
+          ~help:(Printf.sprintf "profiler %s for %s %s" suffix (kind_name e.kind) e.name)
+          (base ^ "_" ^ suffix)
+          (fun () ->
+            match
+              List.find_opt
+                (fun x -> x.kind = e.kind && x.name = e.name)
+                (report t)
+            with
+            | Some x -> pick x
+            | None -> 0.)
+      in
+      field "tasks" (fun x -> float_of_int x.tasks);
+      field "mexprs" (fun x -> float_of_int x.mexprs);
+      field "plans_won" (fun x -> float_of_int x.plans_won);
+      field "wasted" (fun x -> float_of_int x.wasted);
+      field "time_ms" ms_of
+    end
+  in
+  List.iter publish (report t)

@@ -242,12 +242,20 @@ type result = {
   memo_mexprs : int;
 }
 
-let optimize ~store ?params ?max_tasks ?max_millis
+let optimize ~store ?params ?max_tasks ?max_millis ?profiler ?recorder
     (query : Oo_algebra.op Volcano.Tree.t) ~required : result =
   let (module M : OO_MODEL) = make ~store ?params () in
   let module S = Volcano.Search.Make (M) in
+  (* The OO model's rule names flow to the profiler through the same
+     generic engine attribution as the relational model's — per-model
+     rule sets need no profiler-specific code. *)
   let config =
-    { S.default_config with budget = S.budget ?max_tasks ?max_millis () }
+    {
+      S.default_config with
+      budget = S.budget ?max_tasks ?max_millis ();
+      profiler;
+      recorder;
+    }
   in
   let opt = S.create ~config () in
   let outcome = S.optimize opt query ~required in

@@ -51,8 +51,14 @@ val optimize :
   ?params:params ->
   ?max_tasks:int ->
   ?max_millis:float ->
+  ?profiler:Obs.Profile.t ->
+  ?recorder:Obs.Flight_recorder.t ->
   Oo_algebra.op Volcano.Tree.t ->
   required:Oo_algebra.phys ->
   result
+(** [profiler]/[recorder] attach the generic engine observability to
+    the OO optimizer: rule names from this model's transform and
+    implementation rules surface in the profile report unchanged, and
+    both are plan-inert. *)
 
 val explain : plan_node -> string

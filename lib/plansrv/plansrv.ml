@@ -7,13 +7,15 @@ type config = {
   shards : int;
   parameterize : bool;
   dyn_buckets : int;
+  slow_ms : float;
 }
 
 let config ?(capacity = 512) ?(shards = 8) ?(parameterize = false) ?(dyn_buckets = 8)
-    request =
+    ?(slow_ms = 50.) request =
   if capacity < 1 then invalid_arg "Plansrv.config: capacity must be >= 1";
   if shards < 1 then invalid_arg "Plansrv.config: shards must be >= 1";
-  { request; capacity; shards; parameterize; dyn_buckets }
+  if slow_ms < 0. then invalid_arg "Plansrv.config: slow_ms must be >= 0";
+  { request; capacity; shards; parameterize; dyn_buckets; slow_ms }
 
 type cached = {
   plan : Relmodel.Optimizer.plan_node;
@@ -63,6 +65,9 @@ type counters = {
   lockfree_hits : int Atomic.t;
       (** hits answered entirely from the shard snapshot: no lock, no
           LRU mutation (every warm hit in the current implementation) *)
+  rejected : int Atomic.t;
+      (** misses whose optimization produced no plan: the service had
+          nothing to answer with *)
   misses : int Atomic.t;
   invalidations : int Atomic.t;
   evictions : int Atomic.t;
@@ -82,11 +87,35 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
+(* Slow-query log: the most recent responses whose latency crossed the
+   configured [slow_ms] threshold, each carrying the EXPLAIN provenance
+   captured when its entry was cached. Slow requests are rare by
+   definition, so a mutex-guarded ring costs nothing on the fast path
+   (sub-threshold responses never touch it). *)
+let slow_log_capacity = 64
+
+type slow_entry = {
+  sq_ns : int64;  (** monotonic stamp when the response finished *)
+  sq_fingerprint : string;
+  sq_outcome : string;  (** ["hit"] / ["miss"] / ["invalidated"] *)
+  sq_latency_ms : float;
+  sq_explain : string option;
+      (** preformatted EXPLAIN text of the served plan, when the cache
+          held one (static entries render it at insertion) *)
+}
+
+type slow_log = {
+  sl_lock : Mutex.t;
+  sl_slots : slow_entry option array;
+  mutable sl_count : int;  (** total slow responses ever logged *)
+}
+
 type t = {
   cfg : config;
   shard_tbl : shard array;
   stats_lock : Mutex.t;
   counters : counters;
+  slow : slow_log;
   registry : Obs.Metrics.registry;
 }
 
@@ -106,6 +135,7 @@ let create cfg =
       requests = Atomic.make 0;
       hits = Atomic.make 0;
       lockfree_hits = Atomic.make 0;
+      rejected = Atomic.make 0;
       misses = Atomic.make 0;
       invalidations = Atomic.make 0;
       evictions = Atomic.make 0;
@@ -136,6 +166,7 @@ let create cfg =
   atomic "lockfree_hits" "hits served from the shard snapshot without locking"
     counters.lockfree_hits;
   atomic "misses" "requests that ran an optimization" counters.misses;
+  atomic "rejected" "misses whose optimization produced no plan" counters.rejected;
   atomic "invalidations" "stale entries dropped" counters.invalidations;
   atomic "evictions" "capacity evictions" counters.evictions;
   atomic "param_served" "requests answered via parameterized entries"
@@ -148,7 +179,14 @@ let create cfg =
              acc + Mutex.protect shard.lock (fun () -> Lru.length shard.cache))
            0 shard_tbl));
   Volcano.Search_stats.register registry counters.search;
-  { cfg; shard_tbl; stats_lock = Mutex.create (); counters; registry }
+  let slow =
+    {
+      sl_lock = Mutex.create ();
+      sl_slots = Array.make slow_log_capacity None;
+      sl_count = 0;
+    }
+  in
+  { cfg; shard_tbl; stats_lock = Mutex.create (); counters; slow; registry }
 
 let registry t = t.registry
 
@@ -307,6 +345,35 @@ let record_latency t outcome parameterized dt_ms =
 
 let count_eviction t = ignore (Atomic.fetch_and_add t.counters.evictions 1)
 
+let outcome_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Invalidated -> "invalidated"
+
+let slow_note t ~fingerprint ~outcome ~latency_ms ~explain =
+  let e =
+    {
+      sq_ns = Obs.Clock.now_ns ();
+      sq_fingerprint = fingerprint;
+      sq_outcome = outcome_name outcome;
+      sq_latency_ms = latency_ms;
+      sq_explain = explain;
+    }
+  in
+  Mutex.protect t.slow.sl_lock (fun () ->
+      t.slow.sl_slots.(t.slow.sl_count mod slow_log_capacity) <- Some e;
+      t.slow.sl_count <- t.slow.sl_count + 1)
+
+(* A miss the optimizer could not answer (no plan within the limit) is
+   one of the abnormal ends the flight recorder dumps on: the recorder
+   travels in the optimizer request, so the engine rings it just filled
+   are the ones captured. *)
+let note_reject t =
+  ignore (Atomic.fetch_and_add t.counters.rejected 1);
+  match t.cfg.request.Relmodel.Optimizer.recorder with
+  | None -> ()
+  | Some fr -> Obs.Flight_recorder.trigger fr ~reason:"plansrv-reject"
+
 (* Snapshot writes happen under the shard lock, so the functional update
    below has no competing writer; the atomic is for the release fence
    that makes the new map (and the entries it points to) safe to read
@@ -351,6 +418,9 @@ let serve_one t w query ~required =
     in
     let dt_ms = Obs.Clock.span_ms ~since:t0 (Obs.Clock.now_ns ()) in
     record_latency t outcome parameterized dt_ms;
+    if dt_ms >= t.cfg.slow_ms then
+      slow_note t ~fingerprint:fp.Fingerprint.key ~outcome ~latency_ms:dt_ms
+        ~explain:bytes;
     {
       plan;
       plan_bytes = bytes;
@@ -370,7 +440,7 @@ let serve_one t w query ~required =
     let payload = optimize_payload t w fp canonical required in
     let bytes = Option.fold ~none:None ~some:bytes_of_payload payload in
     (match payload with
-     | None -> ()
+     | None -> note_reject t
      | Some payload ->
        let entry =
          {
@@ -450,6 +520,7 @@ type metrics = {
   hits : int;
   lockfree_hits : int;
   misses : int;
+  rejected : int;
   invalidations : int;
   evictions : int;
   param_served : int;
@@ -486,6 +557,7 @@ let metrics t =
     hits = Atomic.get c.hits;
     lockfree_hits = Atomic.get c.lockfree_hits;
     misses = Atomic.get c.misses;
+    rejected = Atomic.get c.rejected;
     invalidations = Atomic.get c.invalidations;
     evictions = Atomic.get c.evictions;
     param_served = Atomic.get c.param_served;
@@ -498,13 +570,85 @@ let metrics t =
 let pp_metrics ppf m =
   Format.fprintf ppf
     "@[<v>requests=%d hits=%d (lock-free %d) misses=%d (hit rate %.1f%%)@,\
-     invalidations=%d evictions=%d parameterized=%d entries=%d@,\
+     rejected=%d invalidations=%d evictions=%d parameterized=%d entries=%d@,\
      warm: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
      cold: n=%d mean=%.3fms p50<=%.3fms p95<=%.3fms p99<=%.3fms max=%.3fms@,\
      search effort (misses): %a@]"
     m.requests m.hits m.lockfree_hits m.misses
     (if m.requests = 0 then 0. else 100. *. float_of_int m.hits /. float_of_int m.requests)
-    m.invalidations m.evictions m.param_served m.entries m.warm.count m.warm.mean_ms
+    m.rejected m.invalidations m.evictions m.param_served m.entries m.warm.count
+    m.warm.mean_ms
     m.warm.p50_ms m.warm.p95_ms m.warm.p99_ms m.warm.max_ms m.cold.count
     m.cold.mean_ms m.cold.p50_ms m.cold.p95_ms m.cold.p99_ms m.cold.max_ms
     Volcano.Search_stats.pp m.search
+
+let slow_threshold_ms t = t.cfg.slow_ms
+
+let slow_log t =
+  Mutex.protect t.slow.sl_lock (fun () ->
+      let n = Array.length t.slow.sl_slots in
+      let kept = min t.slow.sl_count n in
+      List.init kept (fun i ->
+          (* Oldest surviving entry first, mirroring the ring order. *)
+          let idx = if t.slow.sl_count <= n then i else (t.slow.sl_count + i) mod n in
+          t.slow.sl_slots.(idx))
+      |> List.filter_map Fun.id)
+
+let slow_log_json t =
+  let module J = Obs.Json in
+  let entries =
+    List.map
+      (fun e ->
+        J.Obj
+          [
+            ("ns", J.int (Int64.to_int e.sq_ns));
+            ("fingerprint", J.Str e.sq_fingerprint);
+            ("outcome", J.Str e.sq_outcome);
+            ("latency_ms", J.Num e.sq_latency_ms);
+            ( "explain",
+              match e.sq_explain with None -> J.Null | Some s -> J.Str s );
+          ])
+      (slow_log t)
+  in
+  J.Obj
+    [
+      ("threshold_ms", J.Num t.cfg.slow_ms);
+      ("logged", J.int (Mutex.protect t.slow.sl_lock (fun () -> t.slow.sl_count)));
+      ("entries", J.Arr entries);
+    ]
+
+let status_json t =
+  let module J = Obs.Json in
+  let m = metrics t in
+  let lat name l =
+    ( name,
+      J.Obj
+        [
+          ("count", J.int l.count);
+          ("mean_ms", J.Num l.mean_ms);
+          ("max_ms", J.Num l.max_ms);
+          ("p50_ms", J.Num l.p50_ms);
+          ("p95_ms", J.Num l.p95_ms);
+          ("p99_ms", J.Num l.p99_ms);
+        ] )
+  in
+  J.Obj
+    [
+      ("requests", J.int m.requests);
+      ("hits", J.int m.hits);
+      ("lockfree_hits", J.int m.lockfree_hits);
+      ("misses", J.int m.misses);
+      ("rejected", J.int m.rejected);
+      ("invalidations", J.int m.invalidations);
+      ("evictions", J.int m.evictions);
+      ("param_served", J.int m.param_served);
+      ("entries", J.int m.entries);
+      ( "hit_rate",
+        J.Num
+          (if m.requests = 0 then 0.
+           else float_of_int m.hits /. float_of_int m.requests) );
+      ("slow_threshold_ms", J.Num t.cfg.slow_ms);
+      ("slow_logged", J.int (Mutex.protect t.slow.sl_lock (fun () -> t.slow.sl_count)));
+      lat "warm" m.warm;
+      lat "cold" m.cold;
+    ]

@@ -35,6 +35,9 @@ type config = {
       (** erase the single numeric literal from fingerprints and back
           the entry with {!Dynplan} buckets *)
   dyn_buckets : int;  (** buckets per parameterized entry *)
+  slow_ms : float;
+      (** responses at or above this latency land in the slow-query log
+          ({!slow_log}) with their captured EXPLAIN provenance *)
 }
 
 val config :
@@ -42,9 +45,11 @@ val config :
   ?shards:int ->
   ?parameterize:bool ->
   ?dyn_buckets:int ->
+  ?slow_ms:float ->
   Relmodel.Optimizer.request ->
   config
-(** Defaults: capacity 512, 8 shards, parameterization off, 8 buckets. *)
+(** Defaults: capacity 512, 8 shards, parameterization off, 8 buckets,
+    slow threshold 50ms. *)
 
 type t
 (** A running service: the shard array plus its observability
@@ -132,6 +137,11 @@ type metrics = {
           Every warm hit takes this path, so at quiescence
           [lockfree_hits = hits]. *)
   misses : int;
+  rejected : int;
+      (** misses whose optimization produced no plan (nothing to cache
+          or answer with); each one also triggers the optimizer
+          request's flight recorder, when present, with reason
+          ["plansrv-reject"] *)
   invalidations : int;  (** stale-stamp evictions plus proactive sweeps *)
   evictions : int;  (** capacity evictions *)
   param_served : int;  (** requests answered through parameterized entries *)
@@ -170,3 +180,32 @@ val registry : t -> Obs.Metrics.registry
     merged search-effort counters ([volcano_search_*]). Export with
     {!Obs.Metrics.to_prometheus} or {!Obs.Metrics.to_json} — this is
     what [volcano-cli serve --metrics-port] serves. *)
+
+(** {1 Slow-query log and service status} *)
+
+(** One slow response: latency at or above the configured [slow_ms]. *)
+type slow_entry = {
+  sq_ns : int64;  (** monotonic stamp when the response finished *)
+  sq_fingerprint : string;
+  sq_outcome : string;  (** ["hit"] / ["miss"] / ["invalidated"] *)
+  sq_latency_ms : float;
+  sq_explain : string option;
+      (** EXPLAIN provenance of the served plan, captured when the
+          entry was cached (static entries only) *)
+}
+
+val slow_threshold_ms : t -> float
+(** The configured slow-query threshold. *)
+
+val slow_log : t -> slow_entry list
+(** The most recent slow responses (up to a fixed ring capacity),
+    oldest first. Empty until some response crosses the threshold. *)
+
+val slow_log_json : t -> Obs.Json.t
+(** The slow log as JSON — what [volcano-cli serve --metrics-port]
+    answers on [/slow]. *)
+
+val status_json : t -> Obs.Json.t
+(** A one-shot service status document (counters, hit rate, latency
+    profiles, slow-log occupancy) — what [volcano-cli serve
+    --metrics-port] answers on [/status]. *)

@@ -26,6 +26,8 @@ type request = {
   max_tasks : int option;
   max_millis : float option;
   tracer : Obs.Trace.t option;
+  profiler : Obs.Profile.t option;
+  recorder : Obs.Flight_recorder.t option;
   explain : bool;
   restore_columns : bool;
   domains : int;
@@ -45,6 +47,8 @@ let request catalog =
     max_tasks = None;
     max_millis = None;
     tracer = None;
+    profiler = None;
+    recorder = None;
     explain = false;
     restore_columns = true;
     domains = 1;
@@ -87,6 +91,8 @@ let make_searcher req =
       explain = req.explain;
       scheduler = req.scheduler;
       promise = req.promise;
+      profiler = req.profiler;
+      recorder = req.recorder;
     }
   in
   let opt = S.create ~config () in
@@ -165,6 +171,8 @@ let optimize_anytime req ~budgets (query : Relalg.Logical.expr) ~required : anyt
       explain = req.explain;
       scheduler = req.scheduler;
       promise = req.promise;
+      profiler = req.profiler;
+      recorder = req.recorder;
     }
   in
   let opt = S.create ~config () in

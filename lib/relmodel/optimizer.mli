@@ -47,6 +47,16 @@ type request = {
       (** hierarchical span collector for the search (goal, task, and
           phase spans, covering the parallel phase on per-worker
           tracks); export with {!Obs.Chrome_trace} *)
+  profiler : Obs.Profile.t option;
+      (** per-rule / per-enforcer / per-operator effort attribution
+          (tasks, mexprs, plans won, pruned goals, wasted work,
+          cumulative task time), collected per worker track and merged
+          post-run. Plan-inert: attaching a profiler never changes the
+          found plan. *)
+  recorder : Obs.Flight_recorder.t option;
+      (** always-on flight recorder of recent engine events in
+          fixed-size per-worker rings, dumped post-mortem on abnormal
+          ends (budget pause, stall-abandon). Plan-inert. *)
   explain : bool;
       (** record losing alternatives during the search and render winner
           provenance into the result's [explain] field *)

@@ -122,6 +122,22 @@ module Make (M : Signatures.MODEL) = struct
         (** how assembled moves are ordered for pursuit (see
             {!promise_mode}); no effect on the found plan under
             unbounded budgets, only on how fast incumbents arrive *)
+    profiler : Obs.Profile.t option;
+        (** per-rule / per-enforcer / per-operator effort attribution:
+            exactly one charge per executed task (so per-entry task
+            sums equal the task counters), plus mexprs generated per
+            rule firing, plans won, goals pruned, and wasted work.
+            Workers record into their own tracks, merged post-run like
+            trace tracks. Observation-only: recording never changes
+            pursuit order, pruning, or winners. [None] (the default)
+            records nothing. *)
+    recorder : Obs.Flight_recorder.t option;
+        (** always-on flight recorder: a fixed-size lock-free ring of
+            recent engine events per track (task begin/end,
+            claim/publish, prune, incumbent improvement), dumped
+            post-mortem when the run ends abnormally (budget pause,
+            stall-consensus abandon). ~Zero steady-state cost and
+            plan-inert, like the profiler. *)
   }
 
   let default_config =
@@ -134,6 +150,8 @@ module Make (M : Signatures.MODEL) = struct
       explain = false;
       scheduler = Stealing;
       promise = Dynamic;
+      profiler = None;
+      recorder = None;
     }
 
   (* How this searcher view accesses the shared goal state. [Seq] is
@@ -187,6 +205,12 @@ module Make (M : Signatures.MODEL) = struct
     tr_buf : Obs.Trace.buf option;
         (** this searcher view's span buffer: track 0 for the
             sequential engine, track [n] for the [n]-th worker *)
+    pr_buf : Obs.Profile.buf option;
+        (** this searcher view's profiler buffer, tracked like
+            [tr_buf] *)
+    fr_ring : Obs.Flight_recorder.ring option;
+        (** this searcher view's flight-recorder ring, tracked like
+            [tr_buf] *)
   }
 
   (** A fully extracted plan: the optimizer's output. *)
@@ -205,6 +229,9 @@ module Make (M : Signatures.MODEL) = struct
       stats;
       mode = Seq;
       tr_buf = Option.map (fun tr -> Obs.Trace.buf tr ~track:0) config.tracer;
+      pr_buf = Option.map (fun pr -> Obs.Profile.buf pr ~track:0) config.profiler;
+      fr_ring =
+        Option.map (fun fr -> Obs.Flight_recorder.ring fr ~track:0) config.recorder;
     }
 
   (* Goal-state accessors, dispatched on the searcher's mode (see
@@ -223,6 +250,10 @@ module Make (M : Signatures.MODEL) = struct
     | Worker _ -> Memo.winner_locked_id t.memo g id
 
   let record_winner t g id plan bound =
+    (match t.fr_ring with
+     | None -> ()
+     | Some ring ->
+       Obs.Flight_recorder.record ring Obs.Flight_recorder.Publish ~group:g ~detail:id);
     match t.mode with
     | Seq -> Memo.set_winner_id t.memo g id plan bound
     | Worker ctx ->
@@ -452,6 +483,9 @@ module Make (M : Signatures.MODEL) = struct
     im_alg : M.alg;
     im_rank : int;  (** static-order rank of the pursued move *)
     im_rule : string;  (** producing implementation rule, for provenance *)
+    im_start : int;
+        (** [run.r_tasks] when pursuit began, for the profiler's
+            wasted-work accounting *)
     im_delivered : M.phys_props;
     mutable im_acc_cost : M.cost;  (** local cost + completed inputs *)
     mutable im_done : (Memo.group * M.phys_props * M.phys_props option) list;
@@ -468,6 +502,9 @@ module Make (M : Signatures.MODEL) = struct
     en_goal : goal_state;
     en_alg : M.alg;
     en_rank : int;  (** static-order rank of the pursued move *)
+    en_start : int;
+        (** [run.r_tasks] when pursuit began, for the profiler's
+            wasted-work accounting *)
     en_delivered : M.phys_props;
     en_relaxed : M.phys_props;
     en_excluded : M.phys_props;
@@ -499,6 +536,46 @@ module Make (M : Signatures.MODEL) = struct
     | T_apply_transform (g, _, _) -> g
     | T_optimize_inputs st -> st.im_goal.gs_group
     | T_apply_enforcer st -> st.en_goal.gs_group
+
+  (* ------------------------------------------------------------------ *)
+  (* Profiler / flight-recorder attribution                              *)
+  (* ------------------------------------------------------------------ *)
+
+  (* The (kind, name) a task's effort is charged to — exactly one
+     charge per executed task, so per-entry task sums equal the task
+     counters. Transform and input-optimization tasks charge their
+     rule; enforcer tasks their algorithm; mexpr tasks their logical
+     operator; engine bookkeeping tasks a fixed engine key. *)
+  let task_attr : task -> Obs.Profile.kind * string = function
+    | T_optimize_group _ -> (Obs.Profile.Engine, "optimize_group")
+    | T_explore_group _ | T_explore_round _ -> (Obs.Profile.Engine, "explore_group")
+    | T_optimize_mexpr (_, m) -> (Obs.Profile.Operator, M.op_name m.op)
+    | T_apply_transform (_, _, i) ->
+      (Obs.Profile.Rule, (List.assoc i rule_index).Rule.t_name)
+    | T_optimize_inputs st -> (Obs.Profile.Rule, st.im_rule)
+    | T_apply_enforcer st -> (Obs.Profile.Enforcer, M.alg_name st.en_alg)
+
+  (* Kind-specific [detail] payload of ring events about tasks. *)
+  let task_code : task -> int = function
+    | T_optimize_group _ -> 0
+    | T_explore_group _ -> 1
+    | T_explore_round _ -> 2
+    | T_optimize_mexpr _ -> 3
+    | T_apply_transform _ -> 4
+    | T_optimize_inputs _ -> 5
+    | T_apply_enforcer _ -> 6
+
+  (* All no-ops unless the corresponding collector is configured. *)
+  let profile_pruned t kind name =
+    match t.pr_buf with None -> () | Some pb -> Obs.Profile.pruned pb kind name
+
+  let profile_wasted t kind name n =
+    match t.pr_buf with None -> () | Some pb -> Obs.Profile.wasted pb kind name n
+
+  let fr_event t kind ~group ~detail =
+    match t.fr_ring with
+    | None -> ()
+    | Some ring -> Obs.Flight_recorder.record ring kind ~group ~detail
 
   (* ------------------------------------------------------------------ *)
   (* Runs: one resumable optimization                                    *)
@@ -709,6 +786,9 @@ module Make (M : Signatures.MODEL) = struct
         if gs.gs_best <> None then
           t.stats.Search_stats.anytime_improvements <-
             t.stats.Search_stats.anytime_improvements + 1;
+        fr_event t Obs.Flight_recorder.Incumbent
+          ~group:(Memo.find_root t.memo gs.gs_group)
+          ~detail:run.r_tasks;
         run.r_incumbents <- (run.r_tasks, candidate.p_cost) :: run.r_incumbents
       end;
       gs.gs_best <- Some candidate;
@@ -729,6 +809,14 @@ module Make (M : Signatures.MODEL) = struct
      | None ->
        t.stats.failures <- t.stats.failures + 1;
        record_winner t g gs.gs_key_id None gs.gs_limit);
+    (* Credit the winner to the rule (or enforcer algorithm) that
+       produced it. *)
+    (match (gs.gs_best, t.pr_buf) with
+     | Some p, Some pb ->
+       if p.Memo.p_rule = "enforcer" then
+         Obs.Profile.plan_won pb Obs.Profile.Enforcer (M.alg_name p.Memo.p_alg)
+       else Obs.Profile.plan_won pb Obs.Profile.Rule p.Memo.p_rule
+     | _ -> ());
     (* Stealing scheduler: the published entry, not the claim, is now
        the goal's authority — release the claim so a later run that
        needs a more generous bound can re-acquire and re-optimize
@@ -907,6 +995,9 @@ module Make (M : Signatures.MODEL) = struct
            in
            if doomed then begin
              t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+             profile_pruned t Obs.Profile.Rule rule;
+             fr_event t Obs.Flight_recorder.Prune
+               ~group:(Memo.find_root t.memo gs.gs_group) ~detail:0;
              note_alt t gs ~alg ~rule ~cost:None ~reason:Memo.Alt_pruned_lb;
              next_move run gs
            end
@@ -918,6 +1009,7 @@ module Make (M : Signatures.MODEL) = struct
                     im_alg = alg;
                     im_rank = rank;
                     im_rule = rule;
+                    im_start = run.r_tasks;
                     im_delivered = delivered;
                     im_acc_cost = local;
                     im_done = [];
@@ -943,6 +1035,9 @@ module Make (M : Signatures.MODEL) = struct
            let sub_limit = M.cost_sub gs.gs_bound local in
            if t.config.pruning && M.cost_compare sub_limit M.cost_zero <= 0 then begin
              t.stats.pruned <- t.stats.pruned + 1;
+             profile_pruned t Obs.Profile.Enforcer (M.alg_name alg);
+             fr_event t Obs.Flight_recorder.Prune
+               ~group:(Memo.find_root t.memo gs.gs_group) ~detail:1;
              note_alt t gs ~alg ~rule:"enforcer" ~cost:(Some local)
                ~reason:Memo.Alt_over_bound;
              next_move run gs
@@ -956,6 +1051,9 @@ module Make (M : Signatures.MODEL) = struct
              && cost_lt sub_limit (lower_bound_for t gs.gs_group relaxed)
            then begin
              t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
+             profile_pruned t Obs.Profile.Enforcer (M.alg_name alg);
+             fr_event t Obs.Flight_recorder.Prune
+               ~group:(Memo.find_root t.memo gs.gs_group) ~detail:1;
              note_alt t gs ~alg ~rule:"enforcer" ~cost:None ~reason:Memo.Alt_pruned_lb;
              next_move run gs
            end
@@ -968,6 +1066,7 @@ module Make (M : Signatures.MODEL) = struct
                       en_goal = gs;
                       en_alg = alg;
                       en_rank = rank;
+                      en_start = run.r_tasks;
                       en_delivered = delivered;
                       en_relaxed = relaxed;
                       en_excluded = enf_excluded;
@@ -1002,6 +1101,8 @@ module Make (M : Signatures.MODEL) = struct
       then begin
         t.stats.goals_pruned_lb <- t.stats.goals_pruned_lb + 1;
         t.stats.failures <- t.stats.failures + 1;
+        profile_pruned t Obs.Profile.Engine "optimize_group";
+        fr_event t Obs.Flight_recorder.Prune ~group:g ~detail:2;
         record_winner t g kid None gs.gs_limit;
         (* The stealing scheduler acquired the claim before entering;
            the goal concluded without a [finalize_goal], so release it
@@ -1031,7 +1132,8 @@ module Make (M : Signatures.MODEL) = struct
     in
     let count_claim () =
       t.stats.Search_stats.par_goals_claimed <-
-        t.stats.Search_stats.par_goals_claimed + 1
+        t.stats.Search_stats.par_goals_claimed + 1;
+      fr_event t Obs.Flight_recorder.Claim ~group:g ~detail:kid
     in
     match winner_for t g kid with
     | Some { w_plan = Some p; _ } ->
@@ -1322,6 +1424,7 @@ module Make (M : Signatures.MODEL) = struct
         end
         else begin
           m.applied <- m.applied lor bit;
+          let mexprs_before = t.stats.mexprs_created in
           let bindings = bindings_at t rule.Rule.t_pattern m in
           List.iter
             (fun b ->
@@ -1334,7 +1437,14 @@ module Make (M : Signatures.MODEL) = struct
                     ignore (insert_binding t ~target b' : Memo.group))
                   results
               end)
-            bindings
+            bindings;
+          (* Credit the genuinely new mexprs (the memo dedups the rest)
+             to the rule that generated them. *)
+          match t.pr_buf with
+          | None -> ()
+          | Some pb ->
+            Obs.Profile.mexprs pb Obs.Profile.Rule rule.Rule.t_name
+              (t.stats.mexprs_created - mexprs_before)
         end
       end
     end
@@ -1359,6 +1469,7 @@ module Make (M : Signatures.MODEL) = struct
            false)
     in
     if failed then begin
+      profile_wasted t Obs.Profile.Rule st.im_rule (run.r_tasks - st.im_start);
       note_alt t gs ~alg:st.im_alg ~rule:st.im_rule ~cost:None
         ~reason:Memo.Alt_input_failed;
       next_move run gs
@@ -1396,6 +1507,10 @@ module Make (M : Signatures.MODEL) = struct
         in
         if over_bound then begin
           t.stats.pruned <- t.stats.pruned + 1;
+          profile_pruned t Obs.Profile.Rule st.im_rule;
+          profile_wasted t Obs.Profile.Rule st.im_rule (run.r_tasks - st.im_start);
+          fr_event t Obs.Flight_recorder.Prune
+            ~group:(Memo.find_root t.memo gs.gs_group) ~detail:0;
           note_alt t gs ~alg:st.im_alg ~rule:st.im_rule
             ~cost:(if over_acc then Some st.im_acc_cost else None)
             ~reason:(if over_acc then Memo.Alt_over_bound else Memo.Alt_pruned_lb);
@@ -1432,6 +1547,8 @@ module Make (M : Signatures.MODEL) = struct
     let gs = st.en_goal in
     (match st.en_slot.answer with
      | None ->
+       profile_wasted t Obs.Profile.Enforcer (M.alg_name st.en_alg)
+         (run.r_tasks - st.en_start);
        note_alt t gs ~alg:st.en_alg ~rule:"enforcer" ~cost:None
          ~reason:Memo.Alt_input_failed
      | Some sub ->
@@ -1464,6 +1581,35 @@ module Make (M : Signatures.MODEL) = struct
     | T_optimize_inputs st -> optimize_inputs run st
     | T_apply_enforcer st -> apply_enforcer run st
 
+  (* Dispatch one task, under a trace span when tracing is on. *)
+  let exec_with_trace run task =
+    let t = run.rt in
+    match t.tr_buf with
+    | None -> exec_task run task
+    | Some buf ->
+      (* A goal consultation begins the goal: open its span first so
+         this task — and the goal's whole task subtree — nests inside
+         it. A parked goal re-enters here and gets a fresh span. *)
+      (match task with
+       | T_optimize_group gs when gs.gs_phase = G_init && gs.gs_span = None ->
+         goal_open run buf gs
+       | _ -> ());
+      let parent = task_parent run task in
+      let sp =
+        Obs.Trace.open_span buf ?parent ~cat:"task"
+          ~group:(Memo.find_root t.memo (task_group task))
+          (Search_stats.task_kind_name (task_kind task))
+      in
+      (match exec_task run task with
+       | () -> Obs.Trace.close sp
+       | exception e ->
+         Obs.Trace.close ~outcome:"abandoned" sp;
+         flush_goal_closes run;
+         raise e);
+      (* Goals concluded during the task close after it, keeping the
+         bracketing proper: the task span is the goal's last child. *)
+      flush_goal_closes run
+
   (* Execute one task. Returns [false] when the stack is empty. *)
   let step run =
     match run.r_stack with
@@ -1474,31 +1620,39 @@ module Make (M : Signatures.MODEL) = struct
       run.r_tasks <- run.r_tasks + 1;
       let t = run.rt in
       Search_stats.count_task t.stats (task_kind task);
-      (match t.tr_buf with
-       | None -> exec_task run task
-       | Some buf ->
-         (* A goal consultation begins the goal: open its span first so
-            this task — and the goal's whole task subtree — nests inside
-            it. A parked goal re-enters here and gets a fresh span. *)
-         (match task with
-          | T_optimize_group gs when gs.gs_phase = G_init && gs.gs_span = None ->
-            goal_open run buf gs
-          | _ -> ());
-         let parent = task_parent run task in
-         let sp =
-           Obs.Trace.open_span buf ?parent ~cat:"task"
-             ~group:(Memo.find_root t.memo (task_group task))
-             (Search_stats.task_kind_name (task_kind task))
+      (match (t.pr_buf, t.fr_ring) with
+       | None, None -> exec_with_trace run task
+       | pr, fr ->
+         (match fr with
+          | None -> ()
+          | Some ring ->
+            Obs.Flight_recorder.record ring Obs.Flight_recorder.Task_begin
+              ~group:(Memo.find_root t.memo (task_group task))
+              ~detail:(task_code task));
+         let t_start = match pr with None -> 0L | Some _ -> Obs.Clock.now_ns () in
+         (* Exactly one profile charge per executed task — including
+            tasks that abort (a worker's [Par_unexplored]), which the
+            task counters also include: the attribution-parity
+            invariant (sum of per-entry tasks = total tasks). *)
+         let finish () =
+           (match pr with
+            | None -> ()
+            | Some pb ->
+              let kind, name = task_attr task in
+              Obs.Profile.task pb kind name
+                ~ns:(Int64.sub (Obs.Clock.now_ns ()) t_start));
+           match fr with
+           | None -> ()
+           | Some ring ->
+             Obs.Flight_recorder.record ring Obs.Flight_recorder.Task_end
+               ~group:(Memo.find_root t.memo (task_group task))
+               ~detail:(task_code task)
          in
-         (match exec_task run task with
-          | () -> Obs.Trace.close sp
+         (match exec_with_trace run task with
+          | () -> finish ()
           | exception e ->
-            Obs.Trace.close ~outcome:"abandoned" sp;
-            flush_goal_closes run;
-            raise e);
-         (* Goals concluded during the task close after it, keeping the
-            bracketing proper: the task span is the goal's last child. *)
-         flush_goal_closes run);
+            finish ();
+            raise e));
       true
 
   (* A run record with an empty work stack. *)
@@ -1563,6 +1717,17 @@ module Make (M : Signatures.MODEL) = struct
       let status = loop () in
       run.r_millis <- run.r_millis +. ((Unix.gettimeofday () -. t0) *. 1000.);
       run.r_status <- Some status;
+      (* A budget pause is an abnormal end: dump the flight recorder so
+         the post-mortem shows what the engine was doing when the
+         budget ran out. *)
+      (match (status, run.rt.config.recorder) with
+       | Paused reason, Some fr ->
+         Obs.Flight_recorder.trigger fr
+           ~reason:
+             (match reason with
+              | Task_budget -> "task-budget"
+              | Time_budget -> "time-budget")
+       | _ -> ());
       status
 
   (* ------------------------------------------------------------------ *)
@@ -1907,13 +2072,31 @@ module Make (M : Signatures.MODEL) = struct
           wk_tick = Atomic.make 0;
         }
       in
-      (* Each worker writes spans to its own track (track 0 is the
-         sequential engine); the collector merges the buffers post-run,
-         so traces cover the parallel phase. *)
+      (* Each worker writes spans (and profile charges, and ring
+         events) to its own track (track 0 is the sequential engine);
+         the collectors merge the buffers post-run, so all three cover
+         the parallel phase. *)
       let wbuf =
         Option.map (fun tr -> Obs.Trace.buf tr ~track:(widx + 1)) t.config.tracer
       in
-      let wt = { t with stats = wstats; mode = Worker ctx; tr_buf = wbuf } in
+      let wpbuf =
+        Option.map (fun pr -> Obs.Profile.buf pr ~track:(widx + 1)) t.config.profiler
+      in
+      let wring =
+        Option.map
+          (fun fr -> Obs.Flight_recorder.ring fr ~track:(widx + 1))
+          t.config.recorder
+      in
+      let wt =
+        {
+          t with
+          stats = wstats;
+          mode = Worker ctx;
+          tr_buf = wbuf;
+          pr_buf = wpbuf;
+          fr_ring = wring;
+        }
+      in
       let phase_span =
         Option.map
           (fun buf -> Obs.Trace.open_span buf ~cat:"phase" "parallel-worker")
@@ -2054,7 +2237,24 @@ module Make (M : Signatures.MODEL) = struct
       let wbuf =
         Option.map (fun tr -> Obs.Trace.buf tr ~track:(widx + 1)) t.config.tracer
       in
-      let wt = { t with stats = wstats; mode = Worker ctx; tr_buf = wbuf } in
+      let wpbuf =
+        Option.map (fun pr -> Obs.Profile.buf pr ~track:(widx + 1)) t.config.profiler
+      in
+      let wring =
+        Option.map
+          (fun fr -> Obs.Flight_recorder.ring fr ~track:(widx + 1))
+          t.config.recorder
+      in
+      let wt =
+        {
+          t with
+          stats = wstats;
+          mode = Worker ctx;
+          tr_buf = wbuf;
+          pr_buf = wpbuf;
+          fr_ring = wring;
+        }
+      in
       let phase_span =
         Option.map
           (fun buf -> Obs.Trace.open_span buf ~cat:"phase" "parallel-worker")
@@ -2193,7 +2393,13 @@ module Make (M : Signatures.MODEL) = struct
                      the sequential finishing pass. *)
                   futile := 0;
                   let run, _ = Queue.pop blocked in
-                  abandon_run run
+                  abandon_run run;
+                  (* The stall consensus abandoned a parked run: an
+                     abnormal event worth a post-mortem. *)
+                  Option.iter
+                    (fun fr ->
+                      Obs.Flight_recorder.trigger fr ~reason:"stall-abandon")
+                    t.config.recorder
                 end
               end)
         end

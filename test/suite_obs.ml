@@ -129,12 +129,15 @@ let test_metrics_json_shape () =
 (* Span trees from real optimizations                                  *)
 (* ------------------------------------------------------------------ *)
 
-let optimize ?tracer ?(explain = false) ?(domains = 1) (q : Workload.query) =
+let optimize ?tracer ?profiler ?recorder ?(explain = false) ?(domains = 1)
+    (q : Workload.query) =
   let req =
     { (Relmodel.Optimizer.request q.catalog) with
       restore_columns = false;
       domains;
       tracer;
+      profiler;
+      recorder;
       explain }
   in
   Relmodel.Optimizer.optimize req q.logical ~required:Phys_prop.any
@@ -459,6 +462,251 @@ let test_plansrv_latency_and_registry () =
       "volcano_search_tasks";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flightrec_wraparound () =
+  let fr = Obs.Flight_recorder.create ~capacity:8 () in
+  let ring = Obs.Flight_recorder.ring fr ~track:0 in
+  for i = 0 to 19 do
+    Obs.Flight_recorder.record ring Obs.Flight_recorder.Task_begin ~group:i ~detail:i
+  done;
+  Alcotest.(check int) "recorded counts every event" 20 (Obs.Flight_recorder.recorded fr);
+  Alcotest.(check int) "dropped = recorded - capacity" 12 (Obs.Flight_recorder.dropped fr);
+  let events = Obs.Flight_recorder.events fr in
+  Alcotest.(check int) "only capacity events survive" 8 (List.length events);
+  (* The survivors are the newest 8 (details 12..19), oldest first. *)
+  Alcotest.(check (list int)) "oldest surviving event first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : Obs.Flight_recorder.event) -> e.detail) events);
+  let rec time_ordered = function
+    | (a : Obs.Flight_recorder.event) :: (b :: _ as rest) ->
+      a.ns <= b.Obs.Flight_recorder.ns && time_ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "events time-ordered" true (time_ordered events);
+  (* A half-full ring keeps everything in insertion order. *)
+  let fr2 = Obs.Flight_recorder.create ~capacity:8 () in
+  let ring2 = Obs.Flight_recorder.ring fr2 ~track:0 in
+  for i = 0 to 4 do
+    Obs.Flight_recorder.record ring2 Obs.Flight_recorder.Claim ~group:i ~detail:i
+  done;
+  Alcotest.(check int) "no drops below capacity" 0 (Obs.Flight_recorder.dropped fr2);
+  Alcotest.(check (list int)) "insertion order below capacity" [ 0; 1; 2; 3; 4 ]
+    (List.map
+       (fun (e : Obs.Flight_recorder.event) -> e.detail)
+       (Obs.Flight_recorder.events fr2))
+
+let test_flightrec_concurrent_writers () =
+  let fr = Obs.Flight_recorder.create ~capacity:64 () in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            (* Each writer owns its ring: registration is thread-safe,
+               recording is single-writer lock-free. *)
+            let ring = Obs.Flight_recorder.ring fr ~track:(w + 1) in
+            for i = 0 to 999 do
+              Obs.Flight_recorder.record ring Obs.Flight_recorder.Publish ~group:w
+                ~detail:i
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every record landed" 4000 (Obs.Flight_recorder.recorded fr);
+  Alcotest.(check int) "drops account for the rest" (4 * (1000 - 64))
+    (Obs.Flight_recorder.dropped fr);
+  Alcotest.(check (list int)) "one track per writer" [ 1; 2; 3; 4 ]
+    (Obs.Flight_recorder.tracks fr);
+  let events = Obs.Flight_recorder.events fr in
+  Alcotest.(check int) "each ring kept its capacity" (4 * 64) (List.length events);
+  (* Per track, the survivors are that writer's newest 64 details. *)
+  List.iter
+    (fun track ->
+      let mine =
+        List.filter_map
+          (fun (e : Obs.Flight_recorder.event) ->
+            if e.track = track then Some e.detail else None)
+          events
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "track %d keeps its newest events in order" track)
+        (List.init 64 (fun i -> 936 + i))
+        (List.sort compare mine))
+    [ 1; 2; 3; 4 ]
+
+let test_flightrec_trigger_dump () =
+  let path = Filename.temp_file "flightrec" ".json" in
+  let fr = Obs.Flight_recorder.create ~capacity:16 ~path () in
+  let ring = Obs.Flight_recorder.ring fr ~track:0 in
+  for i = 0 to 9 do
+    Obs.Flight_recorder.record ring Obs.Flight_recorder.Incumbent ~group:1 ~detail:i
+  done;
+  Alcotest.(check int) "no dump before a trigger" 0 (Obs.Flight_recorder.dumps fr);
+  Obs.Flight_recorder.trigger fr ~reason:"test-abort";
+  Alcotest.(check int) "trigger counted" 1 (Obs.Flight_recorder.dumps fr);
+  Alcotest.(check string) "reason remembered" "test-abort"
+    (Obs.Flight_recorder.last_reason fr);
+  let j =
+    match Obs.Json.read_file path with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "post-mortem does not parse: %s" e
+  in
+  Sys.remove path;
+  Alcotest.(check (option string)) "dump carries the reason" (Some "test-abort")
+    (Option.bind (Obs.Json.member "reason" j) Obs.Json.to_str);
+  Alcotest.(check (option int)) "dump carries the events" (Some 10)
+    (Option.map List.length
+       (Option.bind (Obs.Json.member "events" j) Obs.Json.to_list))
+
+(* ------------------------------------------------------------------ *)
+(* Search profiler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The attribution-parity invariant: the engine charges exactly one
+   profiler task per executed task, so the per-entry task counts sum to
+   the engine's total task counter — sequentially and across parallel
+   worker tracks. *)
+let test_profiler_attribution_parity () =
+  List.iter
+    (fun domains ->
+      let q = workload ~shape:Workload.Star ~n:5 ~seed:105 in
+      let profiler = Obs.Profile.create () in
+      let result = optimize ~profiler ~domains q in
+      Alcotest.(check bool) "found a plan" true (result.plan <> None);
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d: per-rule tasks sum to the task counter" domains)
+        result.stats.Volcano.Search_stats.tasks
+        (Obs.Profile.total_tasks profiler);
+      let entries = Obs.Profile.report profiler in
+      Alcotest.(check bool) "entries present" true (entries <> []);
+      (* Someone won the root: plans_won attribution is live. *)
+      Alcotest.(check bool) "plans won attributed" true
+        (List.exists (fun (e : Obs.Profile.entry) -> e.plans_won > 0) entries);
+      (* Transformation and implementation rules show up by name. *)
+      Alcotest.(check bool) "rule entries present" true
+        (List.exists (fun (e : Obs.Profile.entry) -> e.kind = Obs.Profile.Rule) entries);
+      List.iter
+        (fun (e : Obs.Profile.entry) ->
+          if e.tasks < 0 || e.mexprs < 0 || e.plans_won < 0 || e.pruned < 0
+             || e.wasted < 0 || Int64.compare e.ns 0L < 0
+          then Alcotest.failf "negative counter for %s" e.name)
+        entries)
+    [ 1; 4 ]
+
+(* Profiler JSON and registry export shapes. *)
+let test_profiler_export_shapes () =
+  let q = workload ~shape:Workload.Chain ~n:4 ~seed:23 in
+  let profiler = Obs.Profile.create () in
+  let result = optimize ~profiler q in
+  let j = Obs.Profile.to_json profiler in
+  Alcotest.(check (option int)) "json total matches the engine"
+    (Some result.stats.Volcano.Search_stats.tasks)
+    (Option.bind (Obs.Json.member "total_tasks" j) Obs.Json.to_int);
+  let entries =
+    match Option.bind (Obs.Json.member "entries" j) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "entries missing"
+  in
+  Alcotest.(check bool) "json entries present" true (entries <> []);
+  let reg = Obs.Metrics.create () in
+  Obs.Profile.register profiler reg;
+  let text = Obs.Metrics.to_prometheus reg in
+  let contains = Helpers.contains in
+  Alcotest.(check bool) "rule_* gauges exported" true (contains text "rule_");
+  Alcotest.(check bool) "per-rule task gauge exported" true (contains text "_tasks");
+  (* The table renderer stays bounded. *)
+  let table = Format.asprintf "%a" (Obs.Profile.pp_table ~top:5) profiler in
+  Alcotest.(check bool) "table has a header" true (contains table "tasks");
+  Alcotest.(check bool) "table mentions a rule" true (contains table "rule")
+
+(* Observability stays plan-inert with the profiler and the flight
+   recorder attached, at 1, 2, and 4 domains. *)
+let test_profiling_bit_identity () =
+  List.iter
+    (fun (shape, name, n, seed) ->
+      let q = workload ~shape ~n ~seed in
+      let base = render (optimize q) in
+      Alcotest.(check bool) (name ^ ": base run finds a plan") true (base <> "NONE");
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: profiled %d-domain run identical" name domains)
+            base
+            (render
+               (optimize ~profiler:(Obs.Profile.create ())
+                  ~recorder:(Obs.Flight_recorder.create ~capacity:128 ())
+                  ~domains q)))
+        [ 1; 2; 4 ])
+    [
+      (Workload.Chain, "chain n=4", 4, 23);
+      (Workload.Star, "star n=5", 5, 105);
+    ]
+
+(* Property: profiling and flight recording never change the plan, and
+   attribution parity holds, on random workloads at random domain
+   counts. *)
+let prop_profile_plan_inert =
+  let gen =
+    QCheck.Gen.(
+      quad (oneofl [ Workload.Chain; Workload.Star ]) (int_range 2 4) (int_range 0 999)
+        (int_range 1 2))
+  in
+  Helpers.qcheck_case ~count:12 "profiling is plan-inert on random workloads"
+    (QCheck.make gen) (fun (shape, n, seed, domains) ->
+      let q = workload ~shape ~n ~seed in
+      let plain = render (optimize ~domains q) in
+      let profiler = Obs.Profile.create () in
+      let recorder = Obs.Flight_recorder.create ~capacity:64 () in
+      let result = optimize ~profiler ~recorder ~domains q in
+      plain = render result
+      && Obs.Profile.total_tasks profiler = result.stats.Volcano.Search_stats.tasks)
+
+(* ------------------------------------------------------------------ *)
+(* Plansrv slow-query log and status                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_plansrv_slow_log_and_status () =
+  let catalog = Helpers.small_catalog () in
+  let request =
+    { (Relmodel.Optimizer.request catalog) with restore_columns = false }
+  in
+  (* Threshold 0: every response is "slow", so the log fills. *)
+  let srv = Plansrv.create (Plansrv.config ~capacity:16 ~shards:2 ~slow_ms:0. request) in
+  let w = Plansrv.worker srv in
+  let q = Expr.(Logical.join (col "r.a" =% col "s.a") (Logical.get "r") (Logical.get "s")) in
+  ignore (Plansrv.serve_one srv w q ~required:Phys_prop.any);
+  ignore (Plansrv.serve_one srv w q ~required:Phys_prop.any);
+  let log = Plansrv.slow_log srv in
+  Alcotest.(check int) "both responses logged" 2 (List.length log);
+  (match log with
+   | [ miss; hit ] ->
+     Alcotest.(check string) "first entry is the miss" "miss" miss.Plansrv.sq_outcome;
+     Alcotest.(check string) "second entry is the hit" "hit" hit.Plansrv.sq_outcome;
+     Alcotest.(check bool) "miss carries EXPLAIN provenance" true
+       (miss.Plansrv.sq_explain <> None);
+     Alcotest.(check bool) "fingerprints agree" true
+       (miss.Plansrv.sq_fingerprint = hit.Plansrv.sq_fingerprint)
+   | _ -> Alcotest.fail "expected exactly two slow entries");
+  (* JSON views parse and carry the headline numbers. *)
+  let slow_j = Plansrv.slow_log_json srv in
+  Alcotest.(check (option int)) "slow log JSON counts entries" (Some 2)
+    (Option.map List.length
+       (Option.bind (Obs.Json.member "entries" slow_j) Obs.Json.to_list));
+  let status = Plansrv.status_json srv in
+  let field name = Option.bind (Obs.Json.member name status) Obs.Json.to_int in
+  Alcotest.(check (option int)) "status requests" (Some 2) (field "requests");
+  Alcotest.(check (option int)) "status hits" (Some 1) (field "hits");
+  Alcotest.(check (option int)) "status rejected" (Some 0) (field "rejected");
+  Alcotest.(check (option int)) "status slow occupancy" (Some 2) (field "slow_logged");
+  (* A raised threshold leaves fast responses out of the log. *)
+  let srv2 =
+    Plansrv.create (Plansrv.config ~capacity:16 ~shards:2 ~slow_ms:60_000. request)
+  in
+  let w2 = Plansrv.worker srv2 in
+  ignore (Plansrv.serve_one srv2 w2 q ~required:Phys_prop.any);
+  Alcotest.(check int) "fast responses stay out of the log" 0
+    (List.length (Plansrv.slow_log srv2))
+
 let suite =
   [
     Alcotest.test_case "json roundtrip and accessors" `Quick test_json_roundtrip;
@@ -477,4 +725,16 @@ let suite =
     Alcotest.test_case "explain off by default" `Quick test_explain_off_by_default;
     Alcotest.test_case "plansrv latency quantiles and registry" `Quick
       test_plansrv_latency_and_registry;
+    Alcotest.test_case "flight recorder ring wraparound" `Quick test_flightrec_wraparound;
+    Alcotest.test_case "flight recorder concurrent writers" `Quick
+      test_flightrec_concurrent_writers;
+    Alcotest.test_case "flight recorder trigger dump" `Quick test_flightrec_trigger_dump;
+    Alcotest.test_case "profiler attribution parity" `Quick
+      test_profiler_attribution_parity;
+    Alcotest.test_case "profiler export shapes" `Quick test_profiler_export_shapes;
+    Alcotest.test_case "profiling never changes the plan" `Quick
+      test_profiling_bit_identity;
+    prop_profile_plan_inert;
+    Alcotest.test_case "plansrv slow log and status" `Quick
+      test_plansrv_slow_log_and_status;
   ]

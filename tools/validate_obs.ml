@@ -9,7 +9,9 @@
      validate_obs metrics FILE     metrics snapshot (counters/gauges/histograms)
      validate_obs drift FILE       drift report from [volcano-cli run --feedback]
      validate_obs bench FILE...    benchmark reports (non-empty JSON objects)
-     validate_obs scaleup FILE     scale-up report from [bench scaleup] *)
+     validate_obs scaleup FILE     scale-up report from [bench scaleup]
+     validate_obs profile FILE     search profile from [optimize --profile-out]
+     validate_obs flightrec FILE   flight-recorder dump from [--flightrec-out] *)
 
 let fail fmt =
   Printf.ksprintf
@@ -310,6 +312,128 @@ let validate_scaleup path =
     cells;
   Printf.printf "OK %s: %d cells, %d arms\n" path (List.length cells) !n_arms
 
+(* A search profile from [volcano-cli optimize --profile-out]: a
+   positive total task count, track 0 present, a non-empty entries
+   array whose rows each carry a known kind, a name, and non-negative
+   counters — and the attribution-parity invariant: the per-entry task
+   counts sum exactly to total_tasks. *)
+let validate_profile path =
+  let j = load path in
+  let total =
+    match Option.bind (Obs.Json.member "total_tasks" j) Obs.Json.to_int with
+    | Some t when t >= 1 -> t
+    | _ -> fail "%s: total_tasks missing or < 1" path
+  in
+  let tracks =
+    match Option.bind (Obs.Json.member "tracks" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: tracks is empty" path
+    | Some l -> List.map (fun t ->
+        match Obs.Json.to_int t with
+        | Some v -> v
+        | None -> fail "%s: non-integer track" path) l
+    | None -> fail "%s: tracks missing or not an array" path
+  in
+  if not (List.mem 0 tracks) then fail "%s: track 0 (sequential engine) missing" path;
+  let entries =
+    match Option.bind (Obs.Json.member "entries" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: entries is empty" path
+    | Some l -> l
+    | None -> fail "%s: entries missing or not an array" path
+  in
+  let task_sum = ref 0 in
+  List.iteri
+    (fun i e ->
+      (match str_field "kind" e with
+       | Some ("rule" | "enforcer" | "operator" | "engine") -> ()
+       | _ -> fail "%s: entry %d has an unknown kind" path i);
+      (match str_field "name" e with
+       | Some n when n <> "" -> ()
+       | _ -> fail "%s: entry %d has no name" path i);
+      List.iter
+        (fun f ->
+          match Option.bind (Obs.Json.member f e) Obs.Json.to_int with
+          | Some v when v >= 0 ->
+            if f = "tasks" then task_sum := !task_sum + v
+          | _ -> fail "%s: entry %d has a bad %s" path i f)
+        [ "tasks"; "mexprs"; "plans_won"; "pruned"; "wasted" ];
+      match num_field "time_ms" e with
+      | Some t when t >= 0. -> ()
+      | _ -> fail "%s: entry %d has a bad time_ms" path i)
+    entries;
+  if !task_sum <> total then
+    fail "%s: attribution parity broken: entry tasks sum to %d, total_tasks is %d"
+      path !task_sum total;
+  Printf.printf "OK %s: %d entries, %d tasks attributed, %d tracks\n" path
+    (List.length entries) total (List.length tracks)
+
+(* A flight-recorder dump from [--flightrec-out] (or a post-mortem
+   trigger): a non-empty reason, a positive capacity, consistent
+   recorded/dropped/event counts, and events with known kinds,
+   non-negative timestamps, and non-descending time order. *)
+let validate_flightrec path =
+  let j = load path in
+  (match str_field "reason" j with
+   | Some r when r <> "" -> ()
+   | _ -> fail "%s: reason missing or empty" path);
+  let capacity =
+    match Option.bind (Obs.Json.member "capacity" j) Obs.Json.to_int with
+    | Some c when c >= 1 -> c
+    | _ -> fail "%s: capacity missing or < 1" path
+  in
+  let recorded =
+    match Option.bind (Obs.Json.member "recorded" j) Obs.Json.to_int with
+    | Some r when r >= 1 -> r
+    | _ -> fail "%s: recorded missing or < 1" path
+  in
+  let dropped =
+    match Option.bind (Obs.Json.member "dropped" j) Obs.Json.to_int with
+    | Some d when d >= 0 -> d
+    | _ -> fail "%s: dropped missing or negative" path
+  in
+  let tracks =
+    match Option.bind (Obs.Json.member "tracks" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: tracks is empty" path
+    | Some l -> l
+    | None -> fail "%s: tracks missing or not an array" path
+  in
+  let events =
+    match Option.bind (Obs.Json.member "events" j) Obs.Json.to_list with
+    | Some [] -> fail "%s: events is empty" path
+    | Some l -> l
+    | None -> fail "%s: events missing or not an array" path
+  in
+  if List.length events > capacity * List.length tracks then
+    fail "%s: %d events exceed capacity %d over %d tracks" path
+      (List.length events) capacity (List.length tracks);
+  if recorded <> List.length events + dropped then
+    fail "%s: recorded (%d) <> surviving events (%d) + dropped (%d)" path recorded
+      (List.length events) dropped;
+  let prev_ns = ref (-1.) in
+  List.iteri
+    (fun i ev ->
+      (match num_field "ns" ev with
+       | Some ns when ns >= 0. ->
+         if ns < !prev_ns then fail "%s: event %d out of time order" path i;
+         prev_ns := ns
+       | _ -> fail "%s: event %d has a bad ns" path i);
+      (match Option.bind (Obs.Json.member "track" ev) Obs.Json.to_int with
+       | Some t when t >= 0 -> ()
+       | _ -> fail "%s: event %d has a bad track" path i);
+      (match str_field "kind" ev with
+       | Some
+           ( "task_begin" | "task_end" | "claim" | "publish" | "prune"
+           | "incumbent" ) -> ()
+       | _ -> fail "%s: event %d has an unknown kind" path i);
+      List.iter
+        (fun f ->
+          if Option.bind (Obs.Json.member f ev) Obs.Json.to_int = None then
+            fail "%s: event %d has no integer %s" path i f)
+        [ "group"; "detail" ])
+    events;
+  Printf.printf "OK %s: %d events (%d recorded, %d dropped), %d tracks, reason %s\n"
+    path (List.length events) recorded dropped (List.length tracks)
+    (Option.value (str_field "reason" j) ~default:"")
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "trace" :: [ path ] -> validate_trace path
@@ -317,8 +441,10 @@ let () =
   | _ :: "drift" :: [ path ] -> validate_drift path
   | _ :: "bench" :: (_ :: _ as paths) -> List.iter validate_bench paths
   | _ :: "scaleup" :: [ path ] -> validate_scaleup path
+  | _ :: "profile" :: [ path ] -> validate_profile path
+  | _ :: "flightrec" :: [ path ] -> validate_flightrec path
   | _ ->
     prerr_endline
       "usage: validate_obs {trace FILE | metrics FILE | drift FILE | bench FILE... | \
-       scaleup FILE}";
+       scaleup FILE | profile FILE | flightrec FILE}";
     exit 2
